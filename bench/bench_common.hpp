@@ -1,0 +1,146 @@
+#pragma once
+
+/// @file
+/// Shared plumbing for the table/figure reproduction harnesses: paper-scale
+/// dataset factories, run helpers, and printing conventions. Every bench
+/// prints the same rows/series the paper's corresponding exhibit reports.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/table_writer.hpp"
+#include "data/molecular_gen.hpp"
+#include "data/snapshot_seq_gen.hpp"
+#include "data/social_evolution_gen.hpp"
+#include "data/temporal_interactions.hpp"
+#include "data/traffic_gen.hpp"
+#include "models/dgnn_model.hpp"
+
+namespace dgnn::bench {
+
+/// Events per interaction stream at bench scale (keeps sweeps fast while
+/// large enough that per-batch effects dominate noise).
+constexpr int64_t kStreamEvents = 16384;
+
+/// Numeric cap for bench sweeps (cost accounting always covers the full
+/// batch; see models/dgnn_model.hpp header).
+constexpr int64_t kBenchNumericCap = 4;
+
+inline data::InteractionDataset
+WikipediaDataset()
+{
+    return data::GenerateInteractions(data::InteractionSpec::WikipediaLike(kStreamEvents));
+}
+
+inline data::InteractionDataset
+RedditDataset()
+{
+    return data::GenerateInteractions(data::InteractionSpec::RedditLike(kStreamEvents));
+}
+
+inline data::InteractionDataset
+LastFmDataset()
+{
+    return data::GenerateInteractions(data::InteractionSpec::LastFmLike(kStreamEvents));
+}
+
+inline data::SnapshotDataset
+RedditSnapshots()
+{
+    return data::GenerateSnapshots(data::SnapshotSpec::RedditHyperlinkLike());
+}
+
+inline data::SnapshotDataset
+BitcoinSnapshots()
+{
+    return data::GenerateSnapshots(data::SnapshotSpec::BitcoinAlphaLike());
+}
+
+inline data::TrafficDataset
+PemsDataset()
+{
+    return data::GenerateTraffic(data::TrafficSpec::PemsLike());
+}
+
+inline data::MolecularDataset
+Iso17Dataset(int64_t frames = 16384)
+{
+    data::MolecularSpec spec = data::MolecularSpec::Iso17Like();
+    spec.num_frames = frames;
+    return data::GenerateMolecular(spec);
+}
+
+inline data::PointProcessDataset
+SocialEvolutionDataset(int64_t events = 2000)
+{
+    data::PointProcessSpec spec = data::PointProcessSpec::SocialEvolutionLike();
+    spec.num_events = events;
+    return data::GeneratePointProcess(spec);
+}
+
+inline data::PointProcessDataset
+GithubDataset(int64_t events = 2000)
+{
+    data::PointProcessSpec spec = data::PointProcessSpec::GithubLike();
+    spec.num_events = events;
+    return data::GeneratePointProcess(spec);
+}
+
+/// Standard bench run configuration.
+inline models::RunConfig
+BenchRun(sim::ExecMode mode, int64_t batch_size, int64_t neighbors = 20,
+         int64_t max_events = 0)
+{
+    models::RunConfig run;
+    run.mode = mode;
+    run.batch_size = batch_size;
+    run.num_neighbors = neighbors;
+    run.max_events = max_events;
+    run.numeric_cap = kBenchNumericCap;
+    return run;
+}
+
+/// Prints a section banner matching across benches.
+inline void
+Banner(const std::string& title, const std::string& paper_ref)
+{
+    std::cout << "\n================================================================\n"
+              << title << "\n(reproduces " << paper_ref << ")\n"
+              << "================================================================\n";
+}
+
+/// ms with 2 decimals.
+inline std::string
+Ms(sim::SimTime us)
+{
+    return core::TableWriter::Num(us / 1000.0, 2);
+}
+
+/// Megabytes with 1 decimal.
+inline std::string
+Mb(int64_t bytes)
+{
+    return core::TableWriter::Num(static_cast<double>(bytes) / 1024.0 / 1024.0, 1);
+}
+
+}  // namespace dgnn::bench
+
+namespace dgnn::bench {
+
+/// Formats one breakdown row: per-category "ms (pct%)" cells followed by the
+/// total, matching the annotation style of the paper's Fig 7.
+inline std::vector<std::string>
+BreakdownCells(const core::Breakdown& breakdown,
+               const std::vector<std::string>& categories)
+{
+    std::vector<std::string> cells;
+    for (const std::string& cat : categories) {
+        cells.push_back(core::TableWriter::TimeWithShare(
+            breakdown.TimeUs(cat) / 1000.0, breakdown.SharePct(cat)));
+    }
+    cells.push_back(core::TableWriter::Num(breakdown.TotalUs() / 1000.0, 2));
+    return cells;
+}
+
+}  // namespace dgnn::bench

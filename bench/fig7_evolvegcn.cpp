@@ -1,0 +1,46 @@
+// Reproduces Fig 7(i,j): EvolveGCN (-H and -O) inference breakdown on CPU
+// and GPU for the Reddit-Hyperlink-like and Bitcoin-Alpha-like snapshot
+// sequences. Expected shape: GNN + RNN dominate; memory copy share is much
+// larger on the bigger Reddit snapshots (the paper's data-movement point);
+// the -H variant adds a visible top-k share.
+
+#include "bench_common.hpp"
+#include "models/evolvegcn.hpp"
+
+int
+main()
+{
+    using namespace dgnn;
+    using namespace dgnn::bench;
+
+    Banner("Fig 7(i,j): EvolveGCN breakdown, -O/-H x CPU/GPU x Reddit/Bitcoin",
+           "Fig 7(i,j): memory-copy share larger on Reddit; top-k only in -H");
+    const std::vector<std::string> cats = {"GNN", "RNN", "Memory Copy", "top-k"};
+    core::TableWriter table({"dataset", "variant", "mode", "GNN ms(%)",
+                             "RNN ms(%)", "Memory Copy ms(%)", "top-k ms(%)",
+                             "total (ms)"});
+    for (const auto& [name, ds] :
+         {std::pair{"reddit", RedditSnapshots()},
+          std::pair{"bitcoin", BitcoinSnapshots()}}) {
+        for (const auto variant :
+             {models::EvolveGcnVariant::kH, models::EvolveGcnVariant::kO}) {
+            for (const auto mode :
+                 {sim::ExecMode::kHybrid, sim::ExecMode::kCpuOnly}) {
+                models::EvolveGcnConfig config;
+                config.variant = variant;
+                models::EvolveGcn model(ds, config);
+                sim::Runtime rt = models::MakeRuntime(mode);
+                const models::RunResult r =
+                    model.RunInference(rt, BenchRun(mode, 1));
+                std::vector<std::string> row = {name, ToString(variant),
+                                                sim::ToString(mode)};
+                for (const auto& cell : BreakdownCells(r.breakdown, cats)) {
+                    row.push_back(cell);
+                }
+                table.AddRow(row);
+            }
+        }
+    }
+    std::cout << table.ToString();
+    return 0;
+}

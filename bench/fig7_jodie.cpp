@@ -1,0 +1,39 @@
+// Reproduces Fig 7(d): JODIE inference breakdown on CPU and GPU across the
+// Reddit / Wikipedia / LastFM interaction streams.
+
+#include "bench_common.hpp"
+#include "models/jodie.hpp"
+
+int
+main()
+{
+    using namespace dgnn;
+    using namespace dgnn::bench;
+
+    Banner("Fig 7(d): JODIE inference breakdown, CPU & GPU x 3 datasets",
+           "Fig 7(d): load/project/predict/update shares per dataset");
+    const std::vector<std::string> cats = {
+        "Load Embedding", "Predict Item Embedding", "Project User Embedding",
+        "Update Embedding"};
+    core::TableWriter table({"mode", "dataset", "Load Embedding ms(%)",
+                             "Predict Item ms(%)", "Project User ms(%)",
+                             "Update Embedding ms(%)", "total (ms)"});
+    for (const auto mode : {sim::ExecMode::kCpuOnly, sim::ExecMode::kHybrid}) {
+        for (const auto& [name, ds] :
+             {std::pair{"reddit", RedditDataset()},
+              std::pair{"wikipedia", WikipediaDataset()},
+              std::pair{"lastfm", LastFmDataset()}}) {
+            models::Jodie model(ds, models::JodieConfig{});
+            sim::Runtime rt = models::MakeRuntime(mode);
+            const models::RunResult r =
+                model.RunInference(rt, BenchRun(mode, 512, 0, 4096));
+            std::vector<std::string> row = {sim::ToString(mode), name};
+            for (const auto& cell : BreakdownCells(r.breakdown, cats)) {
+                row.push_back(cell);
+            }
+            table.AddRow(row);
+        }
+    }
+    std::cout << table.ToString();
+    return 0;
+}

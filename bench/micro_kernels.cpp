@@ -1,0 +1,143 @@
+// Google-benchmark microbenchmarks of the real host kernels behind the
+// simulator: GEMM, attention, GRU, SpMM, temporal sampling, t-batching.
+// These measure actual wall-clock performance of the numeric substrate
+// (unlike the fig/table harnesses, which report simulated device time).
+
+#include <benchmark/benchmark.h>
+
+#include "data/temporal_interactions.hpp"
+#include "graph/tbatch.hpp"
+#include "graph/temporal_sampler.hpp"
+#include "nn/attention.hpp"
+#include "nn/gcn.hpp"
+#include "nn/rnn_cell.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using namespace dgnn;
+
+void
+BM_MatMul(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = init::Normal(Shape({n, n}), rng);
+    const Tensor b = init::Normal(Shape({n, n}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::MatMul(a, b));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_MatMulTransposed(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = init::Normal(Shape({n, n}), rng);
+    const Tensor b = init::Normal(Shape({n, n}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::MatMulTransposed(a, b));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposed)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_Attention(benchmark::State& state)
+{
+    const int64_t k = state.range(0);
+    Rng rng(2);
+    nn::MultiHeadAttention mha(64, 2, rng);
+    const Tensor q = init::Normal(Shape({1, 64}), rng);
+    const Tensor kv = init::Normal(Shape({k, 64}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mha.Forward(q, kv, kv));
+    }
+}
+BENCHMARK(BM_Attention)->Arg(10)->Arg(50)->Arg(200);
+
+void
+BM_GruCell(benchmark::State& state)
+{
+    const int64_t batch = state.range(0);
+    Rng rng(3);
+    nn::GruCell cell(64, 64, rng);
+    const Tensor x = init::Normal(Shape({batch, 64}), rng);
+    const Tensor h = init::Normal(Shape({batch, 64}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cell.Forward(x, h));
+    }
+}
+BENCHMARK(BM_GruCell)->Arg(1)->Arg(64)->Arg(512);
+
+void
+BM_Spmm(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(4);
+    nn::SparseMatrix a;
+    a.n = n;
+    a.row_offsets.resize(static_cast<size_t>(n) + 1);
+    for (int64_t i = 0; i < n; ++i) {
+        a.row_offsets[static_cast<size_t>(i) + 1] =
+            a.row_offsets[static_cast<size_t>(i)] + 8;
+        for (int64_t e = 0; e < 8; ++e) {
+            a.col_indices.push_back(rng.UniformInt(0, n - 1));
+            a.values.push_back(1.0f / 8.0f);
+        }
+    }
+    const Tensor x = init::Normal(Shape({n, 64}), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(nn::Spmm(a, x));
+    }
+    state.SetItemsProcessed(state.iterations() * n * 8 * 64 * 2);
+}
+BENCHMARK(BM_Spmm)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_TemporalSampling(benchmark::State& state)
+{
+    const int64_t k = state.range(0);
+    data::InteractionSpec spec;
+    spec.num_users = 500;
+    spec.num_items = 200;
+    spec.num_events = 20000;
+    spec.edge_feature_dim = 2;
+    const auto ds = data::GenerateInteractions(spec);
+    graph::TemporalAdjacency adj(ds.stream);
+    graph::TemporalNeighborSampler sampler(adj, graph::SamplingStrategy::kUniform,
+                                           7);
+    const double t_query = ds.stream.EndTime();
+    int64_t node = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sampler.Sample(node % 500, t_query, k));
+        ++node;
+    }
+}
+BENCHMARK(BM_TemporalSampling)->Arg(10)->Arg(50)->Arg(300);
+
+void
+BM_TBatchBuild(benchmark::State& state)
+{
+    const int64_t events = state.range(0);
+    data::InteractionSpec spec;
+    spec.num_users = 500;
+    spec.num_items = 200;
+    spec.num_events = events;
+    spec.edge_feature_dim = 2;
+    const auto ds = data::GenerateInteractions(spec);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            graph::BuildTBatches(ds.stream, 0, ds.stream.NumEvents()));
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_TBatchBuild)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

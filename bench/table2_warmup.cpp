@@ -1,0 +1,98 @@
+// Reproduces Table 2: GPU warm-up overhead of TGN and MolDGNN — per-run
+// warm-up (allocation) time and its proportion of the GPU working time
+// across batch sizes — plus the section-4.4 one-time warm-up ratios for
+// TGAT and EvolveGCN.
+
+#include "bench_common.hpp"
+#include "models/evolvegcn.hpp"
+#include "models/moldgnn.hpp"
+#include "models/tgat.hpp"
+#include "models/tgn.hpp"
+
+namespace dgnn::bench {
+namespace {
+
+template <typename Model, typename Dataset, typename ConfigT>
+void
+WarmupRow(core::TableWriter& table, const char* name, const Dataset& ds,
+          ConfigT config, int64_t batch)
+{
+    Model model(ds, config);
+    sim::Runtime rt = models::MakeRuntime(sim::ExecMode::kHybrid);
+    const models::RunResult r =
+        model.RunInference(rt, BenchRun(sim::ExecMode::kHybrid, batch, 10));
+    const double warm = r.warmup_per_run_us;
+    const double comp = r.compute_busy_us;
+    const double warm_pct = 100.0 * warm / (warm + comp);
+    table.AddRow({name, std::to_string(batch),
+                  core::TableWriter::TimeWithShare(warm / 1000.0, warm_pct),
+                  core::TableWriter::TimeWithShare(comp / 1000.0, 100.0 - warm_pct)});
+}
+
+void
+TableTwo()
+{
+    Banner("Table 2: per-run GPU warm-up vs computation, TGN & MolDGNN",
+           "Table 2: warm-up share of GPU working time grows with batch");
+    core::TableWriter table(
+        {"model", "batch", "warm-up ms(%)", "computation ms(%)"});
+    const auto wiki = WikipediaDataset();
+    const auto iso = Iso17Dataset(8192);
+    for (const int64_t bs : {8, 32, 128, 512, 2048, 8192}) {
+        WarmupRow<models::Tgn>(table, "TGN", wiki, models::TgnConfig{}, bs);
+    }
+    for (const int64_t bs : {8, 32, 128, 512, 2048, 8192}) {
+        WarmupRow<models::MolDgnn>(table, "MolDGNN", iso, models::MolDgnnConfig{},
+                                   bs);
+    }
+    std::cout << table.ToString();
+}
+
+void
+OneTimeWarmupSection()
+{
+    Banner("Section 4.4: one-time GPU warm-up vs one iteration of inference",
+           "text: warm-up ~6.6-6.9 s == 33x-86x one mini-batch / snapshot");
+    core::TableWriter table({"model", "one-time warm-up", "one iteration",
+                             "ratio"});
+
+    {
+        const auto ds = WikipediaDataset();
+        models::Tgat model(ds, models::TgatConfig{});
+        sim::Runtime rt = models::MakeRuntime(sim::ExecMode::kHybrid);
+        const models::RunResult r =
+            model.RunInference(rt, BenchRun(sim::ExecMode::kHybrid, 200, 20, 2000));
+        table.AddRow({"TGAT", sim::FormatDuration(r.warmup_one_time_us),
+                      sim::FormatDuration(r.per_iteration_us),
+                      core::TableWriter::Num(
+                          r.warmup_one_time_us / r.per_iteration_us, 0) +
+                          "x"});
+    }
+    for (const auto variant :
+         {models::EvolveGcnVariant::kO, models::EvolveGcnVariant::kH}) {
+        const auto ds = BitcoinSnapshots();
+        models::EvolveGcnConfig config;
+        config.variant = variant;
+        models::EvolveGcn model(ds, config);
+        sim::Runtime rt = models::MakeRuntime(sim::ExecMode::kHybrid);
+        const models::RunResult r =
+            model.RunInference(rt, BenchRun(sim::ExecMode::kHybrid, 1));
+        table.AddRow({ToString(variant), sim::FormatDuration(r.warmup_one_time_us),
+                      sim::FormatDuration(r.per_iteration_us),
+                      core::TableWriter::Num(
+                          r.warmup_one_time_us / r.per_iteration_us, 0) +
+                          "x"});
+    }
+    std::cout << table.ToString();
+}
+
+}  // namespace
+}  // namespace dgnn::bench
+
+int
+main()
+{
+    dgnn::bench::TableTwo();
+    dgnn::bench::OneTimeWarmupSection();
+    return 0;
+}

@@ -1,0 +1,107 @@
+#pragma once
+
+/// @file
+/// The four bottleneck analyzers of the paper (section 4): temporal data
+/// dependency, workload imbalance, data movement, and GPU warm-up. Each
+/// consumes the runtime/trace of a measured run and emits a quantitative
+/// report; BottleneckReport bundles all four with severity grading.
+
+#include <cstdint>
+#include <string>
+
+#include "core/breakdown.hpp"
+#include "sim/runtime.hpp"
+#include "sim/warmup.hpp"
+
+namespace dgnn::core {
+
+/// How strongly a bottleneck manifests in a run.
+enum class Severity {
+    kNone,
+    kModerate,
+    kSevere,
+};
+
+const char* ToString(Severity severity);
+
+/// Bottleneck 1: temporal data dependency -> low parallelism / utilization.
+struct TemporalDependencyReport {
+    double compute_utilization_pct = 0.0;   ///< Kernel-residency fraction.
+    double weighted_utilization_pct = 0.0;  ///< SM-occupancy-weighted util.
+    double mean_kernel_occupancy = 0.0;     ///< Avg per-kernel occupancy.
+    int64_t kernel_count = 0;
+    sim::SimTime mean_kernel_us = 0.0;
+    /// Fraction of device-kernel time that is launch overhead.
+    double launch_overhead_share_pct = 0.0;
+    Severity severity = Severity::kNone;
+};
+
+/// Bottleneck 2: CPU/GPU workload imbalance (sampling-bound pipelines).
+struct WorkloadImbalanceReport {
+    sim::SimTime cpu_busy_us = 0.0;
+    sim::SimTime gpu_busy_us = 0.0;
+    /// Share of elapsed time the host spent in CPU-side preprocessing.
+    double cpu_share_pct = 0.0;
+    /// Share of elapsed time the device had any kernel resident.
+    double gpu_busy_share_pct = 0.0;
+    /// cpu_busy / gpu_busy (>1: CPU-bound, GPU starving).
+    double imbalance_ratio = 0.0;
+    Severity severity = Severity::kNone;
+};
+
+/// Bottleneck 3: CPU<->GPU data movement.
+struct DataMovementReport {
+    int64_t h2d_bytes = 0;
+    int64_t d2h_bytes = 0;
+    int64_t transfer_count = 0;
+    sim::SimTime transfer_time_us = 0.0;
+    /// Share of elapsed time spent on PCIe.
+    double transfer_share_pct = 0.0;
+    Severity severity = Severity::kNone;
+};
+
+/// Bottleneck 4: GPU warm-up.
+struct WarmupBottleneckReport {
+    sim::OneTimeWarmup one_time;
+    sim::SimTime per_run_alloc_us = 0.0;
+    sim::SimTime steady_state_iteration_us = 0.0;
+    /// one_time.TotalUs() / steady-state iteration time.
+    double one_time_vs_iteration = 0.0;
+    Severity severity = Severity::kNone;
+};
+
+/// All four analyses for one run.
+struct BottleneckReport {
+    std::string model;
+    std::string config;
+    sim::SimTime elapsed_us = 0.0;
+    TemporalDependencyReport temporal_dependency;
+    WorkloadImbalanceReport workload_imbalance;
+    DataMovementReport data_movement;
+    WarmupBottleneckReport warmup;
+
+    /// Renders the full report as human-readable text.
+    std::string ToText() const;
+};
+
+/// Runs analyzer 1 over the current measurement window.
+TemporalDependencyReport AnalyzeTemporalDependency(const sim::Runtime& runtime);
+
+/// Runs analyzer 2 over the current measurement window.
+WorkloadImbalanceReport AnalyzeWorkloadImbalance(const sim::Runtime& runtime);
+
+/// Runs analyzer 3 over the current measurement window.
+DataMovementReport AnalyzeDataMovement(const sim::Runtime& runtime);
+
+/// Runs analyzer 4 given the measured steady-state iteration time.
+WarmupBottleneckReport AnalyzeWarmup(const sim::Runtime& runtime,
+                                     sim::SimTime per_run_alloc_us,
+                                     sim::SimTime steady_state_iteration_us);
+
+/// Convenience: all four analyzers at once.
+BottleneckReport AnalyzeAll(const sim::Runtime& runtime, const std::string& model,
+                            const std::string& config,
+                            sim::SimTime per_run_alloc_us = 0.0,
+                            sim::SimTime steady_state_iteration_us = 0.0);
+
+}  // namespace dgnn::core

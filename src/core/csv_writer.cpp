@@ -1,0 +1,70 @@
+#include "core/csv_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dgnn::core {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header))
+{
+    DGNN_CHECK(!header_.empty(), "CSV needs at least one column");
+}
+
+void
+CsvWriter::AddRow(std::vector<std::string> row)
+{
+    DGNN_CHECK(row.size() == header_.size(), "row width ", row.size(),
+               " does not match header width ", header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+CsvWriter::EscapeField(const std::string& field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+        return field;
+    }
+    std::string escaped = "\"";
+    for (char c : field) {
+        if (c == '"') {
+            escaped += "\"\"";
+        } else {
+            escaped += c;
+        }
+    }
+    escaped += "\"";
+    return escaped;
+}
+
+std::string
+CsvWriter::ToString() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i > 0) {
+                oss << ",";
+            }
+            oss << EscapeField(row[i]);
+        }
+        oss << "\n";
+    };
+    emit(header_);
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+    return oss.str();
+}
+
+void
+CsvWriter::WriteFile(const std::string& path) const
+{
+    std::ofstream out(path);
+    DGNN_CHECK(out.good(), "cannot open '", path, "' for writing");
+    out << ToString();
+    DGNN_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+}  // namespace dgnn::core

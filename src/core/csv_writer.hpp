@@ -1,0 +1,35 @@
+#pragma once
+
+/// @file
+/// Minimal CSV writer so benchmark series can be exported for plotting
+/// alongside the ASCII tables (RFC-4180-style quoting).
+
+#include <string>
+#include <vector>
+
+namespace dgnn::core {
+
+/// Builds and renders a CSV document.
+class CsvWriter {
+  public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /// Appends a data row; must match the header width.
+    void AddRow(std::vector<std::string> row);
+
+    /// Renders the document, quoting fields that need it.
+    std::string ToString() const;
+
+    /// Writes the document to @p path; throws dgnn::Error on I/O failure.
+    void WriteFile(const std::string& path) const;
+
+    size_t RowCount() const { return rows_.size(); }
+
+  private:
+    static std::string EscapeField(const std::string& field);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dgnn::core

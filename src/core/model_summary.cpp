@@ -1,0 +1,56 @@
+#include "core/model_summary.hpp"
+
+#include "support/check.hpp"
+
+namespace dgnn::core {
+
+const char*
+ToString(DgnnType type)
+{
+    switch (type) {
+      case DgnnType::kDiscrete:
+        return "discrete";
+      case DgnnType::kContinuous:
+        return "continuous";
+    }
+    return "?";
+}
+
+const std::vector<ModelSummary>&
+AllModelSummaries()
+{
+    static const std::vector<ModelSummary> kSummaries = {
+        {"JODIE", DgnnType::kContinuous, true, false, false, true, "RNN",
+         "future interaction prediction, state change prediction"},
+        {"TGN", DgnnType::kContinuous, true, false, true, false, "time embedding",
+         "future edge prediction"},
+        {"EvolveGCN", DgnnType::kDiscrete, true, true, true, false, "RNN",
+         "link prediction, node classification, edge classification"},
+        {"TGAT", DgnnType::kContinuous, true, true, true, false, "time embedding",
+         "link prediction, link classification"},
+        {"ASTGNN", DgnnType::kDiscrete, true, false, false, true, "self-attention",
+         "traffic flow prediction"},
+        {"DyRep", DgnnType::kContinuous, true, true, true, false, "RNN",
+         "dynamic link prediction, time prediction"},
+        {"LDG", DgnnType::kContinuous, true, true, true, true,
+         "RNN + self-attention", "dynamic link prediction"},
+        {"MolDGNN", DgnnType::kDiscrete, true, false, true, false, "RNN",
+         "adjacency matrix prediction"},
+    };
+    return kSummaries;
+}
+
+const ModelSummary&
+FindModelSummary(const std::string& name)
+{
+    for (const ModelSummary& s : AllModelSummaries()) {
+        if (s.name == name) {
+            return s;
+        }
+    }
+    DGNN_CHECK(false, "unknown model '", name, "'");
+    // Unreachable; silences the compiler.
+    return AllModelSummaries().front();
+}
+
+}  // namespace dgnn::core

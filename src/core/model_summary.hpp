@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file
+/// Static registry of the eight profiled DGNNs and their characteristics —
+/// the data behind the paper's Table 1.
+
+#include <string>
+#include <vector>
+
+namespace dgnn::core {
+
+/// Discrete- vs continuous-time dynamic graph model.
+enum class DgnnType {
+    kDiscrete,
+    kContinuous,
+};
+
+const char* ToString(DgnnType type);
+
+/// One row of Table 1.
+struct ModelSummary {
+    std::string name;
+    DgnnType type = DgnnType::kDiscrete;
+    bool evolving_node_feature = false;
+    bool evolving_edge_feature = false;
+    bool evolving_topology = false;
+    bool evolving_weights = false;
+    std::string time_encoding;
+    std::string tasks;
+};
+
+/// All eight models, in the paper's Table 1 order.
+const std::vector<ModelSummary>& AllModelSummaries();
+
+/// Looks up one model by name; throws when unknown.
+const ModelSummary& FindModelSummary(const std::string& name);
+
+}  // namespace dgnn::core

@@ -1,0 +1,73 @@
+#include "core/table_writer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dgnn::core {
+
+TableWriter::TableWriter(std::vector<std::string> header) : header_(std::move(header))
+{
+    DGNN_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void
+TableWriter::AddRow(std::vector<std::string> row)
+{
+    DGNN_CHECK(row.size() == header_.size(), "row width ", row.size(),
+               " does not match header width ", header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TableWriter::Num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TableWriter::TimeWithShare(double time_ms, double share_pct)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(2) << time_ms << " ("
+        << std::setprecision(0) << share_pct << "%)";
+    return oss.str();
+}
+
+std::string
+TableWriter::ToString() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << (c == 0 ? "| " : " | ") << std::left
+                << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        oss << " |\n";
+    };
+    emit_row(header_);
+    for (size_t c = 0; c < header_.size(); ++c) {
+        oss << (c == 0 ? "|" : "|") << std::string(widths[c] + 2, '-');
+    }
+    oss << "|\n";
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return oss.str();
+}
+
+}  // namespace dgnn::core

@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file
+/// Minimal aligned ASCII table writer used by every benchmark harness so
+/// that regenerated paper tables/figures print consistently.
+
+#include <string>
+#include <vector>
+
+namespace dgnn::core {
+
+/// Builds and renders a column-aligned text table.
+class TableWriter {
+  public:
+    explicit TableWriter(std::vector<std::string> header);
+
+    /// Appends a data row; must match the header width.
+    void AddRow(std::vector<std::string> row);
+
+    /// Convenience: formats doubles with @p precision.
+    static std::string Num(double value, int precision = 2);
+
+    /// Convenience: formats "12.3 (45%)" cells common in the paper's Fig 7.
+    static std::string TimeWithShare(double time_ms, double share_pct);
+
+    /// Renders the table with a separator under the header.
+    std::string ToString() const;
+
+    size_t RowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dgnn::core

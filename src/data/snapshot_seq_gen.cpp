@@ -1,0 +1,120 @@
+#include "data/snapshot_seq_gen.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "tensor/random.hpp"
+
+namespace dgnn::data {
+
+SnapshotSpec
+SnapshotSpec::SbmLike()
+{
+    SnapshotSpec s;
+    s.name = "sbm";
+    s.num_nodes = 1000;
+    s.num_steps = 16;
+    s.edges_per_step = 8000;
+    s.node_feature_dim = 64;
+    s.num_blocks = 10;
+    s.intra_block_prob = 0.85;
+    s.overlap = 0.7;
+    s.seed = 51;
+    return s;
+}
+
+SnapshotSpec
+SnapshotSpec::BitcoinAlphaLike()
+{
+    SnapshotSpec s;
+    s.name = "bitcoin_alpha";
+    s.num_nodes = 3783 / 4;
+    s.num_steps = 16;
+    s.edges_per_step = 1500;
+    s.node_feature_dim = 64;
+    s.num_blocks = 6;
+    s.intra_block_prob = 0.6;
+    s.overlap = 0.5;
+    s.signed_weights = true;
+    s.seed = 52;
+    return s;
+}
+
+SnapshotSpec
+SnapshotSpec::RedditHyperlinkLike()
+{
+    SnapshotSpec s;
+    s.name = "reddit_hyperlink";
+    s.num_nodes = 2000;
+    s.num_steps = 16;
+    s.edges_per_step = 20000;  // larger average snapshot than Bitcoin
+    s.node_feature_dim = 64;
+    s.num_blocks = 20;
+    s.intra_block_prob = 0.75;
+    s.overlap = 0.55;
+    s.seed = 53;
+    return s;
+}
+
+namespace {
+
+/// Draws one SBM edge.
+graph::Edge
+DrawEdge(Rng& rng, const SnapshotSpec& spec)
+{
+    const int64_t block_size = spec.num_nodes / spec.num_blocks;
+    graph::Edge e;
+    e.src = rng.UniformInt(0, spec.num_nodes - 1);
+    if (rng.Bernoulli(spec.intra_block_prob) && block_size > 1) {
+        const int64_t block = e.src / block_size;
+        const int64_t lo = block * block_size;
+        const int64_t hi = std::min(spec.num_nodes, lo + block_size) - 1;
+        e.dst = rng.UniformInt(lo, hi);
+    } else {
+        e.dst = rng.UniformInt(0, spec.num_nodes - 1);
+    }
+    e.weight = spec.signed_weights ? (rng.Bernoulli(0.85) ? 1.0f : -1.0f)
+                                   : rng.Uniform(0.5f, 1.5f);
+    return e;
+}
+
+}  // namespace
+
+SnapshotDataset
+GenerateSnapshots(const SnapshotSpec& spec)
+{
+    DGNN_CHECK(spec.num_nodes > 0 && spec.num_steps > 0, "dataset '", spec.name,
+               "' needs positive sizes");
+    DGNN_CHECK(spec.overlap >= 0.0 && spec.overlap <= 1.0, "overlap ", spec.overlap,
+               " out of [0, 1]");
+
+    Rng rng(spec.seed);
+    std::vector<graph::GraphSnapshot> snapshots;
+    snapshots.reserve(static_cast<size_t>(spec.num_steps));
+
+    std::vector<graph::Edge> carried;
+    for (int64_t t = 0; t < spec.num_steps; ++t) {
+        std::vector<graph::Edge> edges;
+        edges.reserve(static_cast<size_t>(spec.edges_per_step));
+        // Sliding-window overlap: keep a fraction of the previous edges.
+        for (const graph::Edge& e : carried) {
+            if (rng.Bernoulli(spec.overlap) &&
+                static_cast<int64_t>(edges.size()) < spec.edges_per_step) {
+                edges.push_back(e);
+            }
+        }
+        while (static_cast<int64_t>(edges.size()) < spec.edges_per_step) {
+            edges.push_back(DrawEdge(rng, spec));
+        }
+        carried = edges;
+        snapshots.emplace_back(spec.num_nodes, edges);
+    }
+
+    SnapshotDataset ds{
+        spec,
+        graph::SnapshotSequence(spec.num_nodes, std::move(snapshots)),
+        init::Normal(Shape({spec.num_nodes, spec.node_feature_dim}), rng, 0.3f)};
+    return ds;
+}
+
+}  // namespace dgnn::data

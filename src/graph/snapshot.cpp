@@ -1,0 +1,110 @@
+#include "graph/snapshot.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dgnn::graph {
+
+GraphSnapshot::GraphSnapshot(int64_t num_nodes, const std::vector<Edge>& edges)
+    : num_nodes_(num_nodes)
+{
+    DGNN_CHECK(num_nodes >= 0, "negative node count ", num_nodes);
+    std::vector<int64_t> degree(static_cast<size_t>(num_nodes), 0);
+    for (const Edge& e : edges) {
+        DGNN_CHECK(e.src >= 0 && e.src < num_nodes && e.dst >= 0 && e.dst < num_nodes,
+                   "edge (", e.src, " -> ", e.dst, ") out of range for ", num_nodes,
+                   " nodes");
+        ++degree[static_cast<size_t>(e.src)];
+    }
+    row_offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+    for (int64_t i = 0; i < num_nodes; ++i) {
+        row_offsets_[static_cast<size_t>(i) + 1] =
+            row_offsets_[static_cast<size_t>(i)] + degree[static_cast<size_t>(i)];
+    }
+    col_indices_.resize(edges.size());
+    values_.resize(edges.size());
+    std::vector<int64_t> cursor(row_offsets_.begin(), row_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+        const int64_t pos = cursor[static_cast<size_t>(e.src)]++;
+        col_indices_[static_cast<size_t>(pos)] = e.dst;
+        values_[static_cast<size_t>(pos)] = e.weight;
+    }
+    // Sort each row's columns for deterministic iteration and fast set ops.
+    for (int64_t i = 0; i < num_nodes; ++i) {
+        const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+        const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+        std::vector<std::pair<int64_t, float>> row;
+        row.reserve(static_cast<size_t>(end - begin));
+        for (int64_t e = begin; e < end; ++e) {
+            row.emplace_back(col_indices_[static_cast<size_t>(e)],
+                             values_[static_cast<size_t>(e)]);
+        }
+        std::sort(row.begin(), row.end());
+        for (int64_t e = begin; e < end; ++e) {
+            col_indices_[static_cast<size_t>(e)] = row[static_cast<size_t>(e - begin)].first;
+            values_[static_cast<size_t>(e)] = row[static_cast<size_t>(e - begin)].second;
+        }
+    }
+}
+
+int64_t
+GraphSnapshot::Degree(int64_t node) const
+{
+    DGNN_CHECK(node >= 0 && node < num_nodes_, "node ", node, " out of range");
+    return row_offsets_[static_cast<size_t>(node) + 1] -
+           row_offsets_[static_cast<size_t>(node)];
+}
+
+std::span<const int64_t>
+GraphSnapshot::Neighbors(int64_t node) const
+{
+    DGNN_CHECK(node >= 0 && node < num_nodes_, "node ", node, " out of range");
+    const int64_t begin = row_offsets_[static_cast<size_t>(node)];
+    const int64_t end = row_offsets_[static_cast<size_t>(node) + 1];
+    return {col_indices_.data() + begin, static_cast<size_t>(end - begin)};
+}
+
+std::span<const float>
+GraphSnapshot::Weights(int64_t node) const
+{
+    DGNN_CHECK(node >= 0 && node < num_nodes_, "node ", node, " out of range");
+    const int64_t begin = row_offsets_[static_cast<size_t>(node)];
+    const int64_t end = row_offsets_[static_cast<size_t>(node) + 1];
+    return {values_.data() + begin, static_cast<size_t>(end - begin)};
+}
+
+int64_t
+GraphSnapshot::TopologyBytes() const
+{
+    return static_cast<int64_t>(row_offsets_.size() * sizeof(int64_t) +
+                                col_indices_.size() * sizeof(int64_t) +
+                                values_.size() * sizeof(float));
+}
+
+int64_t
+GraphSnapshot::CommonEdges(const GraphSnapshot& other) const
+{
+    const int64_t n = std::min(num_nodes_, other.num_nodes_);
+    int64_t common = 0;
+    for (int64_t u = 0; u < n; ++u) {
+        const auto a = Neighbors(u);
+        const auto b = other.Neighbors(u);
+        size_t i = 0;
+        size_t j = 0;
+        while (i < a.size() && j < b.size()) {
+            if (a[i] == b[j]) {
+                ++common;
+                ++i;
+                ++j;
+            } else if (a[i] < b[j]) {
+                ++i;
+            } else {
+                ++j;
+            }
+        }
+    }
+    return common;
+}
+
+}  // namespace dgnn::graph

@@ -1,0 +1,57 @@
+#pragma once
+
+/// @file
+/// A static graph snapshot in CSR form — one time step of a discrete-time
+/// dynamic graph (DTDG). Layout matches nn::SparseMatrix so models can
+/// convert without copying semantics around.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dgnn::graph {
+
+/// One weighted directed edge.
+struct Edge {
+    int64_t src = 0;
+    int64_t dst = 0;
+    float weight = 1.0f;
+};
+
+/// Immutable CSR snapshot of a graph at one time step.
+class GraphSnapshot {
+  public:
+    /// Builds from an edge list (duplicates kept, self-loops allowed).
+    GraphSnapshot(int64_t num_nodes, const std::vector<Edge>& edges);
+
+    int64_t NumNodes() const { return num_nodes_; }
+    int64_t NumEdges() const { return static_cast<int64_t>(col_indices_.size()); }
+
+    /// Out-degree of @p node.
+    int64_t Degree(int64_t node) const;
+
+    /// Neighbor ids of @p node.
+    std::span<const int64_t> Neighbors(int64_t node) const;
+
+    /// Edge weights aligned with Neighbors(node).
+    std::span<const float> Weights(int64_t node) const;
+
+    const std::vector<int64_t>& RowOffsets() const { return row_offsets_; }
+    const std::vector<int64_t>& ColIndices() const { return col_indices_; }
+    const std::vector<float>& Values() const { return values_; }
+
+    /// Bytes of the CSR payload (what a H2D copy of the topology moves).
+    int64_t TopologyBytes() const;
+
+    /// Number of edges shared with @p other (same src->dst pair), used to
+    /// quantify snapshot overlap for the delta-transfer ablation.
+    int64_t CommonEdges(const GraphSnapshot& other) const;
+
+  private:
+    int64_t num_nodes_;
+    std::vector<int64_t> row_offsets_;
+    std::vector<int64_t> col_indices_;
+    std::vector<float> values_;
+};
+
+}  // namespace dgnn::graph

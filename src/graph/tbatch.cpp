@@ -1,0 +1,71 @@
+#include "graph/tbatch.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace dgnn::graph {
+
+std::vector<TBatch>
+BuildTBatches(const EventStream& stream, int64_t begin, int64_t end)
+{
+    DGNN_CHECK(begin >= 0 && begin <= end && end <= stream.NumEvents(),
+               "bad event range [", begin, ", ", end, ")");
+    std::vector<TBatch> batches;
+    // last batch index a node was placed in; -1 when not yet seen.
+    std::unordered_map<int64_t, int64_t> last_batch;
+    last_batch.reserve(static_cast<size_t>(end - begin) * 2);
+
+    for (int64_t i = begin; i < end; ++i) {
+        const TemporalEvent& e = stream.Event(i);
+        int64_t lu = -1;
+        int64_t li = -1;
+        if (auto it = last_batch.find(e.src); it != last_batch.end()) {
+            lu = it->second;
+        }
+        if (auto it = last_batch.find(e.dst); it != last_batch.end()) {
+            li = it->second;
+        }
+        const int64_t b = std::max(lu, li) + 1;
+        if (b >= static_cast<int64_t>(batches.size())) {
+            batches.resize(static_cast<size_t>(b) + 1);
+        }
+        batches[static_cast<size_t>(b)].event_indices.push_back(i);
+        last_batch[e.src] = b;
+        last_batch[e.dst] = b;
+    }
+    return batches;
+}
+
+bool
+ValidateTBatches(const EventStream& stream, const std::vector<TBatch>& batches)
+{
+    // Invariant 1: within a batch every node appears at most once.
+    for (const TBatch& batch : batches) {
+        std::unordered_set<int64_t> seen;
+        for (int64_t idx : batch.event_indices) {
+            const TemporalEvent& e = stream.Event(idx);
+            if (!seen.insert(e.src).second || !seen.insert(e.dst).second) {
+                return false;
+            }
+        }
+    }
+    // Invariant 2: per node, batch order respects event order.
+    std::unordered_map<int64_t, int64_t> last_event_index;
+    for (const TBatch& batch : batches) {
+        for (int64_t idx : batch.event_indices) {
+            const TemporalEvent& e = stream.Event(idx);
+            for (int64_t node : {e.src, e.dst}) {
+                auto it = last_event_index.find(node);
+                if (it != last_event_index.end() && it->second > idx) {
+                    return false;
+                }
+                last_event_index[node] = idx;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace dgnn::graph

@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file
+/// JODIE's t-batch algorithm (Kumar et al., KDD'19): partition a time-ordered
+/// interaction stream into batches such that no user or item appears twice in
+/// a batch. Interactions inside a batch are then independent and can be
+/// processed in parallel; batches stay time-ordered.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/event_stream.hpp"
+
+namespace dgnn::graph {
+
+/// One t-batch: indices into the source stream.
+struct TBatch {
+    std::vector<int64_t> event_indices;
+};
+
+/// Builds t-batches over events [begin, end) of @p stream.
+///
+/// Greedy assignment: an interaction (u, i) goes to batch
+/// 1 + max(last_batch(u), last_batch(i)) — the standard t-batch rule.
+std::vector<TBatch> BuildTBatches(const EventStream& stream, int64_t begin,
+                                  int64_t end);
+
+/// Verifies the t-batch invariants (each node at most once per batch,
+/// batches preserve time precedence per node). Returns true when valid.
+bool ValidateTBatches(const EventStream& stream, const std::vector<TBatch>& batches);
+
+}  // namespace dgnn::graph

@@ -1,0 +1,190 @@
+#pragma once
+
+/// @file
+/// Common interface for the eight profiled DGNN models, plus the NnExecutor
+/// bridge: models compute *real* numerics on the host through the nn
+/// substrate while the executor issues matching cost descriptors to the
+/// simulated runtime (kernels, copies, syncs). This is the seam described in
+/// DESIGN.md: numerical fidelity and timing fidelity are decoupled.
+///
+/// Numeric fidelity: models accept a `numeric_cap` — when positive, only the
+/// first `numeric_cap` items of a batch are numerically evaluated (outputs
+/// for the rest reuse computed rows cyclically) while cost accounting always
+/// covers the full batch. Tests and examples run with numeric_cap = 0 (full
+/// math); large benchmark sweeps set a cap to keep wall-clock reasonable.
+/// This is an explicit performance knob, not a simulation shortcut — the
+/// full code path is identical.
+
+#include <cstdint>
+#include <string>
+
+#include "core/breakdown.hpp"
+#include "core/profiler.hpp"
+#include "graph/temporal_sampler.hpp"
+#include "nn/attention.hpp"
+#include "nn/gcn.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "nn/rnn_cell.hpp"
+#include "nn/time_encoding.hpp"
+#include "sim/runtime.hpp"
+
+namespace dgnn::models {
+
+/// Per-run execution configuration shared by every model.
+struct RunConfig {
+    sim::ExecMode mode = sim::ExecMode::kHybrid;
+    /// Events per mini-batch (CTDG) or snapshots/graphs per batch (DTDG).
+    int64_t batch_size = 256;
+    /// Temporal neighbors sampled per node (TGAT / TGN).
+    int64_t num_neighbors = 20;
+    /// Cap on processed events/steps; 0 = whole dataset.
+    int64_t max_events = 0;
+    /// Numeric fidelity cap per batch; 0 = full numerics (see file header).
+    int64_t numeric_cap = 0;
+    /// Run the one-time warm-up before the measured window.
+    bool include_warmup = true;
+};
+
+/// Everything a measured inference run produces.
+struct RunResult {
+    std::string model;
+    std::string dataset;
+    std::string mode;
+
+    sim::SimTime total_us = 0.0;          ///< measured window length
+    sim::SimTime per_iteration_us = 0.0;  ///< total / iterations
+    int64_t iterations = 0;
+
+    double compute_utilization_pct = 0.0;
+    int64_t compute_peak_bytes = 0;  ///< peak memory on the compute device
+    int64_t cpu_peak_bytes = 0;
+    int64_t h2d_bytes = 0;
+    int64_t d2h_bytes = 0;
+    int64_t transfer_count = 0;
+    sim::SimTime transfer_time_us = 0.0;
+
+    core::Breakdown breakdown;
+
+    sim::SimTime warmup_one_time_us = 0.0;
+    sim::SimTime warmup_per_run_us = 0.0;
+    /// Compute-device busy time within the window ("computation" of Table 2).
+    sim::SimTime compute_busy_us = 0.0;
+
+    /// Order-independent fingerprint of the numeric outputs, for regression
+    /// tests (identical config + seed => identical checksum).
+    double output_checksum = 0.0;
+};
+
+/// Abstract profiled model.
+class DgnnModel {
+  public:
+    virtual ~DgnnModel() = default;
+
+    /// Model name as in the paper ("TGAT", "EvolveGCN-O", ...).
+    virtual std::string Name() const = 0;
+
+    /// Runs inference over the model's dataset under @p config.
+    virtual RunResult RunInference(sim::Runtime& runtime, const RunConfig& config) = 0;
+};
+
+/// Builds a runtime for the requested execution mode with paper presets.
+sim::Runtime MakeRuntime(sim::ExecMode mode);
+
+/// Host-side eager-framework overhead per mini-batch (Python interpreter,
+/// dict/batch bookkeeping, autograd bypass checks). Paid on both the
+/// CPU-only and hybrid paths — it runs on the host either way.
+constexpr sim::SimTime kFrameworkBatchOverheadUs = 250.0;
+
+/// Charges the per-batch framework overhead to the current category.
+void ChargeBatchOverhead(sim::Runtime& runtime);
+
+/// Validates a run configuration (positive batch size, sane neighbor and
+/// cap values, mode matching the runtime). Every model calls this first.
+void ValidateRunConfig(const sim::Runtime& runtime, const RunConfig& config);
+
+/// Assembles the common RunResult fields from the runtime's measurement
+/// window. Model-specific fields (checksum, warm-up) are set by the caller.
+RunResult CollectRunStats(sim::Runtime& runtime, const std::string& model,
+                          const std::string& dataset, int64_t iterations);
+
+/// Executes nn modules on the host and issues the matching simulated cost.
+/// All methods return the real numeric result.
+class NnExecutor {
+  public:
+    explicit NnExecutor(sim::Runtime& runtime) : runtime_(runtime) {}
+
+    sim::Runtime& GetRuntime() { return runtime_; }
+
+    /// y = linear(x) as one device kernel.
+    Tensor Linear(const nn::Linear& linear, const Tensor& x);
+
+    /// y = mlp(x) as one fused device kernel.
+    Tensor Mlp(const nn::Mlp& mlp, const Tensor& x);
+
+    /// h' = cell(x, h) as one device kernel (GRU).
+    Tensor Gru(const nn::GruCell& cell, const Tensor& x, const Tensor& h);
+
+    /// h' = cell(x, h) as one device kernel (vanilla RNN).
+    Tensor Rnn(const nn::RnnCell& cell, const Tensor& x, const Tensor& h);
+
+    /// LSTM step as one device kernel.
+    nn::LstmState Lstm(const nn::LstmCell& cell, const Tensor& x,
+                       const nn::LstmState& state);
+
+    /// Multi-head attention as one device kernel.
+    Tensor Attention(const nn::MultiHeadAttention& mha, const Tensor& q,
+                     const Tensor& k, const Tensor& v);
+
+    /// Sparse aggregation (SpMM) as one irregular device kernel.
+    Tensor Spmm(const nn::SparseMatrix& a, const Tensor& x);
+
+    /// GCN layer: SpMM kernel + dense-transform kernel.
+    Tensor Gcn(const nn::GcnLayer& layer, const nn::SparseMatrix& a_hat,
+               const Tensor& h);
+
+    /// GCN layer with externally-evolved weights (EvolveGCN).
+    Tensor GcnWithWeight(const nn::GcnLayer& layer, const nn::SparseMatrix& a_hat,
+                         const Tensor& h, const Tensor& weight);
+
+    /// Bochner time encoding as one device kernel.
+    Tensor TimeEncode(const nn::BochnerTimeEncoder& encoder, const Tensor& deltas);
+
+    /// Generic elementwise kernel of @p flops over @p tensor_bytes.
+    void Elementwise(const std::string& name, int64_t flops, int64_t bytes,
+                     int64_t items);
+
+    /// CPU-side temporal sampling: performs the real sampling and charges
+    /// the host with the calibrated irregular-access cost model.
+    std::vector<graph::SampledNeighborhood>
+    SampleOnCpu(graph::TemporalNeighborSampler& sampler,
+                const std::vector<int64_t>& nodes, const std::vector<double>& times,
+                int64_t k);
+
+  private:
+    sim::Runtime& runtime_;
+};
+
+/// Converts an accumulated sampling cost into a host kernel descriptor.
+/// Calibration: each bisection probe and each gathered neighbor entry is a
+/// cache-missing random access; framework per-target call overhead appears
+/// as equivalent memory traffic (see DESIGN.md section 5).
+/// Uniform sampling (TGAT) pays the index sort and a much larger per-call
+/// overhead than the vectorizable most-recent lookup (TGN/DyRep).
+sim::KernelDesc SamplingKernel(const graph::SamplingCost& cost, int64_t targets,
+                               int64_t k, graph::SamplingStrategy strategy);
+
+/// Deterministic fingerprint helper: accumulates sum + abs-sum of a tensor.
+class Checksum {
+  public:
+    void Add(const Tensor& t);
+    void Add(double v);
+    double Value() const;
+
+  private:
+    double sum_ = 0.0;
+    double abs_sum_ = 0.0;
+    int64_t count_ = 0;
+};
+
+}  // namespace dgnn::models

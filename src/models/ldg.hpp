@@ -1,0 +1,68 @@
+#pragma once
+
+/// @file
+/// LDG — Latent Dynamic Graph (Knyazev et al., 2021), inference path as
+/// profiled by the paper (Figs 4b, 8d). LDG shares DyRep's node-embedding
+/// phase but adds an NRI encoder that maps node-pair embeddings to latent
+/// edge embeddings, and a bilinear decoder for richer pair interactions:
+///
+///   per event (strictly sequential):
+///     [Encoder (NRI)]          pairwise MLP -> latent edge embeddings
+///     [Temporal Attention]     attention weighted by the latent edges
+///     [Node Embedding Update]  RNN update of both endpoints
+///     [Bilinear Decoder]       z_u^T W z_v intensity
+///
+/// Like DyRep, kernels are tiny and serialized: GPU slower than CPU for
+/// every batch size (Fig 8d).
+
+#include <memory>
+
+#include "data/social_evolution_gen.hpp"
+#include "models/dgnn_model.hpp"
+#include "nn/embedding.hpp"
+
+namespace dgnn::models {
+
+/// Which encoder LDG uses (the paper profiles both).
+enum class LdgEncoder {
+    kMlp,       ///< NRI MLP encoder
+    kBilinear,  ///< bilinear-only encoder
+};
+
+const char* ToString(LdgEncoder encoder);
+
+/// LDG hyper-parameters.
+struct LdgConfig {
+    LdgEncoder encoder = LdgEncoder::kMlp;
+    int64_t embed_dim = 32;
+    int64_t latent_edge_dim = 16;
+    int64_t attention_neighbors = 5;
+    uint64_t seed = 31;
+};
+
+/// LDG model bound to one point-process dataset.
+class Ldg : public DgnnModel {
+  public:
+    Ldg(const data::PointProcessDataset& dataset, LdgConfig config);
+
+    std::string Name() const override;
+
+    RunResult RunInference(sim::Runtime& runtime, const RunConfig& config) override;
+
+    int64_t WeightBytes() const;
+
+    /// Bilinear pair score (pure host math, for tests).
+    double PairScore(int64_t u, int64_t v) const;
+
+  private:
+    const data::PointProcessDataset& dataset_;
+    LdgConfig config_;
+    graph::TemporalAdjacency adjacency_;
+    std::unique_ptr<nn::Embedding> embeddings_;
+    std::unique_ptr<nn::Mlp> nri_encoder_;
+    std::unique_ptr<nn::MultiHeadAttention> attention_;
+    std::unique_ptr<nn::RnnCell> update_rnn_;
+    Tensor bilinear_w_;  ///< [embed_dim, embed_dim]
+};
+
+}  // namespace dgnn::models

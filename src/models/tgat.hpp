@@ -1,0 +1,67 @@
+#pragma once
+
+/// @file
+/// TGAT — Temporal Graph Attention Network (Xu et al., ICLR'20), inference
+/// path as profiled by the paper (Figs 2b, 6a-b, 7e-h, 8a):
+///
+///   per mini-batch of events:
+///     [Sampling (CPU)]   temporal neighbor sampling with bisection + sort
+///     [Memory Copy]      gathered features + time deltas H2D
+///     [Time Encoding]    Bochner harmonic encoding of relative times
+///     [Attention Layer]  feature projection + per-target attention + merge
+///     [Cuda Synchronization] tail sync
+///     [Memory Copy]      embeddings D2H
+///
+/// The CPU-side sampling is the dominant cost (workload-imbalance
+/// bottleneck); attention work grows with the sampled-neighbor count, which
+/// drives the GPU-utilization trend of Fig 6(a).
+
+#include <memory>
+#include <vector>
+
+#include "data/temporal_interactions.hpp"
+#include "models/dgnn_model.hpp"
+
+namespace dgnn::models {
+
+/// TGAT hyper-parameters.
+struct TgatConfig {
+    int64_t embed_dim = 64;
+    int64_t num_heads = 2;
+    int64_t num_layers = 1;          ///< attention hops (2 enables recursion)
+    int64_t second_hop_neighbors = 10;  ///< neighbors per node at layer >= 2
+    uint64_t seed = 7;
+
+    /// Paper section 5.1.1: overlap the CPU-side neighborhood sampling of
+    /// the *next* mini-batch with the GPU compute of the current one. The
+    /// sampling order (and therefore every numeric result) is unchanged;
+    /// only the host stops stalling on the device between batches.
+    bool overlap_sampling = false;
+};
+
+/// TGAT model bound to one interaction dataset.
+class Tgat : public DgnnModel {
+  public:
+    Tgat(const data::InteractionDataset& dataset, TgatConfig config);
+
+    std::string Name() const override { return "TGAT"; }
+
+    RunResult RunInference(sim::Runtime& runtime, const RunConfig& config) override;
+
+    /// Pure host-math embedding of one node at one time (used by tests).
+    Tensor ComputeEmbedding(graph::TemporalNeighborSampler& sampler, int64_t node,
+                            double time, int64_t num_neighbors, int64_t layer) const;
+
+    int64_t WeightBytes() const;
+
+  private:
+    const data::InteractionDataset& dataset_;
+    TgatConfig config_;
+    graph::TemporalAdjacency adjacency_;
+    std::unique_ptr<nn::Linear> feature_proj_;
+    std::unique_ptr<nn::BochnerTimeEncoder> time_encoder_;
+    std::vector<std::unique_ptr<nn::MultiHeadAttention>> attention_layers_;
+    std::vector<std::unique_ptr<nn::Linear>> merge_layers_;
+};
+
+}  // namespace dgnn::models

@@ -1,0 +1,66 @@
+#include "nn/activations.hpp"
+
+#include "support/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace dgnn::nn {
+
+const char*
+ToString(Activation act)
+{
+    switch (act) {
+      case Activation::kIdentity:
+        return "identity";
+      case Activation::kRelu:
+        return "relu";
+      case Activation::kSigmoid:
+        return "sigmoid";
+      case Activation::kTanh:
+        return "tanh";
+      case Activation::kGelu:
+        return "gelu";
+    }
+    return "?";
+}
+
+Activation
+ParseActivation(const std::string& name)
+{
+    if (name == "identity") {
+        return Activation::kIdentity;
+    }
+    if (name == "relu") {
+        return Activation::kRelu;
+    }
+    if (name == "sigmoid") {
+        return Activation::kSigmoid;
+    }
+    if (name == "tanh") {
+        return Activation::kTanh;
+    }
+    if (name == "gelu") {
+        return Activation::kGelu;
+    }
+    DGNN_CHECK(false, "unknown activation '", name, "'");
+    return Activation::kIdentity;
+}
+
+Tensor
+Apply(Activation act, const Tensor& x)
+{
+    switch (act) {
+      case Activation::kIdentity:
+        return x;
+      case Activation::kRelu:
+        return ops::Relu(x);
+      case Activation::kSigmoid:
+        return ops::Sigmoid(x);
+      case Activation::kTanh:
+        return ops::Tanh(x);
+      case Activation::kGelu:
+        return ops::Gelu(x);
+    }
+    return x;
+}
+
+}  // namespace dgnn::nn

@@ -1,0 +1,30 @@
+#pragma once
+
+/// @file
+/// Named activation functions as a small enum-dispatched helper so model
+/// configs can select them declaratively.
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dgnn::nn {
+
+/// Supported activation kinds.
+enum class Activation {
+    kIdentity,
+    kRelu,
+    kSigmoid,
+    kTanh,
+    kGelu,
+};
+
+const char* ToString(Activation act);
+
+/// Parses "relu"/"sigmoid"/"tanh"/"gelu"/"identity"; throws on other input.
+Activation ParseActivation(const std::string& name);
+
+/// Applies the activation elementwise.
+Tensor Apply(Activation act, const Tensor& x);
+
+}  // namespace dgnn::nn

@@ -1,0 +1,102 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace dgnn::nn {
+
+namespace {
+
+/// Columns [begin, end) of a rank-2 tensor.
+Tensor
+HeadSlice(const Tensor& t, int64_t begin, int64_t end)
+{
+    const int64_t rows = t.Dim(0);
+    const int64_t cols = t.Dim(1);
+    Tensor out(Shape({rows, end - begin}));
+    for (int64_t i = 0; i < rows; ++i) {
+        std::copy(t.Data() + i * cols + begin, t.Data() + i * cols + end,
+                  out.Data() + i * (end - begin));
+    }
+    return out;
+}
+
+/// Writes @p part into columns [begin, ...) of @p dst.
+void
+HeadWrite(Tensor& dst, const Tensor& part, int64_t begin)
+{
+    const int64_t rows = dst.Dim(0);
+    const int64_t cols = dst.Dim(1);
+    const int64_t pcols = part.Dim(1);
+    for (int64_t i = 0; i < rows; ++i) {
+        std::copy(part.Data() + i * pcols, part.Data() + (i + 1) * pcols,
+                  dst.Data() + i * cols + begin);
+    }
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(int64_t model_dim, int64_t num_heads, Rng& rng)
+    : Module("mha"),
+      model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      wq_(model_dim, model_dim, rng),
+      wk_(model_dim, model_dim, rng),
+      wv_(model_dim, model_dim, rng),
+      wo_(model_dim, model_dim, rng)
+{
+    DGNN_CHECK(num_heads > 0 && model_dim % num_heads == 0, "model_dim ", model_dim,
+               " must be divisible by num_heads ", num_heads);
+    RegisterChild(&wq_);
+    RegisterChild(&wk_);
+    RegisterChild(&wv_);
+    RegisterChild(&wo_);
+}
+
+Tensor
+MultiHeadAttention::Forward(const Tensor& query, const Tensor& key,
+                            const Tensor& value) const
+{
+    DGNN_CHECK(query.Rank() == 2 && query.Dim(1) == model_dim_,
+               "query must be [*, ", model_dim_, "], got ",
+               query.GetShape().ToString());
+    DGNN_CHECK(key.GetShape() == value.GetShape(), "key/value shape mismatch: ",
+               key.GetShape().ToString(), " vs ", value.GetShape().ToString());
+    DGNN_CHECK(key.Dim(1) == model_dim_, "key must be [*, ", model_dim_, "], got ",
+               key.GetShape().ToString());
+
+    const Tensor q = wq_.Forward(query);
+    const Tensor k = wk_.Forward(key);
+    const Tensor v = wv_.Forward(value);
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+    Tensor concat(Shape({query.Dim(0), model_dim_}));
+    for (int64_t h = 0; h < num_heads_; ++h) {
+        const int64_t begin = h * head_dim_;
+        const int64_t end = begin + head_dim_;
+        const Tensor qh = HeadSlice(q, begin, end);
+        const Tensor kh = HeadSlice(k, begin, end);
+        const Tensor vh = HeadSlice(v, begin, end);
+
+        const Tensor scores = ops::Scale(ops::MatMulTransposed(qh, kh), scale);
+        const Tensor weights = ops::SoftmaxRows(scores);
+        const Tensor out = ops::MatMul(weights, vh);
+        HeadWrite(concat, out, begin);
+    }
+    return wo_.Forward(concat);
+}
+
+int64_t
+MultiHeadAttention::ForwardFlops(int64_t q, int64_t k) const
+{
+    const int64_t proj = wq_.ForwardFlops(q) + wk_.ForwardFlops(k) +
+                         wv_.ForwardFlops(k) + wo_.ForwardFlops(q);
+    const int64_t scores = 2 * q * k * model_dim_;   // QK^T across heads
+    const int64_t apply = 2 * q * k * model_dim_;    // weights x V
+    const int64_t softmax = 4 * q * k * num_heads_;
+    return proj + scores + apply + softmax;
+}
+
+}  // namespace dgnn::nn

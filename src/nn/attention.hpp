@@ -1,0 +1,42 @@
+#pragma once
+
+/// @file
+/// Multi-head scaled-dot-product attention — the aggregation engine of
+/// TGAT, the embedding projection of JODIE, the temporal attention blocks of
+/// ASTGNN, and the attention layers of TGN/DyRep/LDG.
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace dgnn::nn {
+
+/// Multi-head attention over (query, key, value) matrices.
+class MultiHeadAttention : public Module {
+  public:
+    /// @param model_dim  embedding dimension (must divide by num_heads)
+    /// @param num_heads  number of attention heads
+    MultiHeadAttention(int64_t model_dim, int64_t num_heads, Rng& rng);
+
+    /// query: [q, d], key: [k, d], value: [k, d] -> [q, d].
+    Tensor Forward(const Tensor& query, const Tensor& key, const Tensor& value) const;
+
+    /// Self-attention shorthand: Forward(x, x, x).
+    Tensor SelfAttention(const Tensor& x) const { return Forward(x, x, x); }
+
+    int64_t ModelDim() const { return model_dim_; }
+    int64_t NumHeads() const { return num_heads_; }
+
+    /// FLOPs for q queries against k keys.
+    int64_t ForwardFlops(int64_t q, int64_t k) const;
+
+  private:
+    int64_t model_dim_;
+    int64_t num_heads_;
+    int64_t head_dim_;
+    Linear wq_;
+    Linear wk_;
+    Linear wv_;
+    Linear wo_;
+};
+
+}  // namespace dgnn::nn

@@ -1,0 +1,41 @@
+#include "nn/embedding.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace dgnn::nn {
+
+Embedding::Embedding(int64_t count, int64_t dim, Rng& rng)
+    : Module("embedding"),
+      count_(count),
+      dim_(dim),
+      table_(init::Normal(Shape({count, dim}), rng, 0.1f))
+{
+    RegisterParameter("table", table_);
+}
+
+Tensor
+Embedding::Lookup(const std::vector<int64_t>& indices) const
+{
+    return ops::GatherRows(table_, indices);
+}
+
+void
+Embedding::Update(const std::vector<int64_t>& indices, const Tensor& rows)
+{
+    ops::ScatterRows(table_, indices, rows);
+}
+
+Tensor
+Embedding::Row(int64_t index) const
+{
+    return table_.Row(index);
+}
+
+void
+Embedding::SetRow(int64_t index, const Tensor& row)
+{
+    Tensor r = row.Rank() == 1 ? row : row.Reshape(Shape({row.NumElements()}));
+    table_.SetRow(index, r);
+}
+
+}  // namespace dgnn::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+/// @file
+/// Embedding table: a learnable [count, dim] matrix with row lookup and
+/// in-place row update (the mutable node/user/item memories of JODIE, TGN,
+/// DyRep and LDG).
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dgnn::nn {
+
+/// Learnable lookup table with mutable rows.
+class Embedding : public Module {
+  public:
+    Embedding(int64_t count, int64_t dim, Rng& rng);
+
+    /// Rows for @p indices -> [indices.size, dim].
+    Tensor Lookup(const std::vector<int64_t>& indices) const;
+
+    /// Overwrites the rows named by @p indices with @p rows.
+    void Update(const std::vector<int64_t>& indices, const Tensor& rows);
+
+    /// Single-row accessors.
+    Tensor Row(int64_t index) const;
+    void SetRow(int64_t index, const Tensor& row);
+
+    int64_t Count() const { return count_; }
+    int64_t Dim() const { return dim_; }
+    const Tensor& Table() const { return table_; }
+
+  private:
+    int64_t count_;
+    int64_t dim_;
+    Tensor table_;
+};
+
+}  // namespace dgnn::nn

@@ -1,0 +1,48 @@
+#include "nn/layer_norm.hpp"
+
+#include <cmath>
+
+namespace dgnn::nn {
+
+LayerNorm::LayerNorm(int64_t features, Rng& rng, float eps)
+    : Module("layer_norm"),
+      features_(features),
+      eps_(eps),
+      gamma_(init::Uniform(Shape({features}), rng, 0.9f, 1.1f)),
+      beta_(Tensor(Shape({features})))
+{
+    RegisterParameter("gamma", gamma_);
+    RegisterParameter("beta", beta_);
+}
+
+Tensor
+LayerNorm::Forward(const Tensor& x) const
+{
+    DGNN_CHECK(x.Rank() == 2 && x.Dim(1) == features_, "LayerNorm expects [*, ",
+               features_, "], got ", x.GetShape().ToString());
+    const int64_t batch = x.Dim(0);
+    Tensor out(x.GetShape());
+    for (int64_t i = 0; i < batch; ++i) {
+        const float* row = x.Data() + i * features_;
+        double mean = 0.0;
+        for (int64_t j = 0; j < features_; ++j) {
+            mean += row[j];
+        }
+        mean /= static_cast<double>(features_);
+        double var = 0.0;
+        for (int64_t j = 0; j < features_; ++j) {
+            const double d = row[j] - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(features_);
+        const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        float* orow = out.Data() + i * features_;
+        for (int64_t j = 0; j < features_; ++j) {
+            orow[j] = gamma_.Data()[j] * (row[j] - static_cast<float>(mean)) * inv_std +
+                      beta_.Data()[j];
+        }
+    }
+    return out;
+}
+
+}  // namespace dgnn::nn

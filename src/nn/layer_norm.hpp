@@ -1,0 +1,28 @@
+#pragma once
+
+/// @file
+/// Layer normalization over the last axis of a rank-2 tensor.
+
+#include "nn/module.hpp"
+
+namespace dgnn::nn {
+
+/// y = gamma * (x - mean) / sqrt(var + eps) + beta, per row.
+class LayerNorm : public Module {
+  public:
+    LayerNorm(int64_t features, Rng& rng, float eps = 1e-5f);
+
+    /// x: [batch, features] -> normalized same shape.
+    Tensor Forward(const Tensor& x) const;
+
+    int64_t Features() const { return features_; }
+    int64_t ForwardFlops(int64_t batch) const { return 8 * batch * features_; }
+
+  private:
+    int64_t features_;
+    float eps_;
+    Tensor gamma_;
+    Tensor beta_;
+};
+
+}  // namespace dgnn::nn

@@ -1,0 +1,35 @@
+#pragma once
+
+/// @file
+/// Fully-connected layer (PyTorch nn.Linear convention: y = x W^T + b).
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+
+namespace dgnn::nn {
+
+/// Affine map from in_features to out_features.
+class Linear : public Module {
+  public:
+    Linear(int64_t in_features, int64_t out_features, Rng& rng, bool with_bias = true);
+
+    /// x: [batch, in] -> [batch, out].
+    Tensor Forward(const Tensor& x) const;
+
+    int64_t InFeatures() const { return in_features_; }
+    int64_t OutFeatures() const { return out_features_; }
+
+    /// FLOPs of one forward pass with @p batch rows.
+    int64_t ForwardFlops(int64_t batch) const;
+
+    const Tensor& Weight() const { return weight_; }
+    const Tensor& Bias() const { return bias_; }
+
+  private:
+    int64_t in_features_;
+    int64_t out_features_;
+    Tensor weight_;  ///< [out, in]
+    Tensor bias_;    ///< [out] (empty when bias disabled)
+};
+
+}  // namespace dgnn::nn

@@ -1,0 +1,39 @@
+#include "nn/mlp.hpp"
+
+namespace dgnn::nn {
+
+Mlp::Mlp(std::vector<int64_t> dims, Rng& rng, Activation act)
+    : Module("mlp"), dims_(std::move(dims)), act_(act)
+{
+    DGNN_CHECK(dims_.size() >= 2, "MLP needs at least in/out dims, got ",
+               dims_.size());
+    for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+        layers_.push_back(std::make_unique<Linear>(dims_[i], dims_[i + 1], rng));
+        RegisterChild(layers_.back().get());
+    }
+}
+
+Tensor
+Mlp::Forward(const Tensor& x) const
+{
+    Tensor h = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        h = layers_[i]->Forward(h);
+        if (i + 1 < layers_.size()) {
+            h = Apply(act_, h);
+        }
+    }
+    return h;
+}
+
+int64_t
+Mlp::ForwardFlops(int64_t batch) const
+{
+    int64_t flops = 0;
+    for (const auto& layer : layers_) {
+        flops += layer->ForwardFlops(batch);
+    }
+    return flops;
+}
+
+}  // namespace dgnn::nn

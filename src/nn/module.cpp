@@ -1,0 +1,54 @@
+#include "nn/module.hpp"
+
+#include "support/check.hpp"
+
+namespace dgnn::nn {
+
+std::vector<Parameter>
+Module::AllParameters() const
+{
+    std::vector<Parameter> all = parameters_;
+    for (const Module* child : children_) {
+        std::vector<Parameter> child_params = child->AllParameters();
+        for (Parameter& p : child_params) {
+            p.name = child->Name() + "." + p.name;
+            all.push_back(std::move(p));
+        }
+    }
+    return all;
+}
+
+int64_t
+Module::ParameterCount() const
+{
+    int64_t count = 0;
+    for (const Parameter& p : AllParameters()) {
+        count += p.value->NumElements();
+    }
+    return count;
+}
+
+int64_t
+Module::ParameterBytes() const
+{
+    int64_t bytes = 0;
+    for (const Parameter& p : AllParameters()) {
+        bytes += p.value->NumBytes();
+    }
+    return bytes;
+}
+
+void
+Module::RegisterParameter(const std::string& name, const Tensor& value)
+{
+    parameters_.push_back(Parameter{name, &value});
+}
+
+void
+Module::RegisterChild(Module* child)
+{
+    DGNN_CHECK(child != nullptr, "null child module");
+    children_.push_back(child);
+}
+
+}  // namespace dgnn::nn

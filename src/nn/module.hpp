@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file
+/// Base class for neural modules: a named registry of parameter tensors so
+/// weight byte counts (for warm-up / transfer modeling) and deterministic
+/// initialization are uniform across models.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dgnn::nn {
+
+/// A named learnable tensor. The tensor itself is owned by the module as a
+/// regular data member; the registry only points at it.
+struct Parameter {
+    std::string name;
+    const Tensor* value = nullptr;
+};
+
+/// Base class: registers parameters and child modules (non-owning).
+class Module {
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+    virtual ~Module() = default;
+
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+
+    const std::string& Name() const { return name_; }
+
+    /// This module's own parameters (children excluded).
+    const std::vector<Parameter>& OwnParameters() const { return parameters_; }
+
+    /// All parameters including registered children, depth-first.
+    std::vector<Parameter> AllParameters() const;
+
+    /// Total parameter element count, children included.
+    int64_t ParameterCount() const;
+
+    /// Total parameter bytes, children included (weight footprint used by
+    /// the warm-up and H2D transfer models).
+    int64_t ParameterBytes() const;
+
+  protected:
+    /// Registers a member tensor as a parameter.
+    void RegisterParameter(const std::string& name, const Tensor& value);
+
+    /// Registers a child module for parameter aggregation.
+    void RegisterChild(Module* child);
+
+  private:
+    std::string name_;
+    std::vector<Parameter> parameters_;
+    std::vector<Module*> children_;
+};
+
+}  // namespace dgnn::nn

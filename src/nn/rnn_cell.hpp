@@ -1,0 +1,82 @@
+#pragma once
+
+/// @file
+/// Recurrent cells: vanilla RNN, GRU, and LSTM. These are the time encoders
+/// of JODIE, EvolveGCN, MolDGNN, DyRep, and LDG, and the source of the
+/// paper's temporal-data-dependency bottleneck: each step's input is the
+/// previous step's output, so steps cannot run in parallel.
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace dgnn::nn {
+
+/// tanh(W_ih x + W_hh h + b) vanilla recurrent cell.
+class RnnCell : public Module {
+  public:
+    RnnCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+    /// x: [batch, input], h: [batch, hidden] -> new h [batch, hidden].
+    Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+    int64_t InputSize() const { return input_size_; }
+    int64_t HiddenSize() const { return hidden_size_; }
+
+    /// FLOPs of one step with @p batch rows.
+    int64_t ForwardFlops(int64_t batch) const;
+
+  private:
+    int64_t input_size_;
+    int64_t hidden_size_;
+    Linear ih_;
+    Linear hh_;
+};
+
+/// Gated recurrent unit (Cho et al. 2014).
+class GruCell : public Module {
+  public:
+    GruCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+    /// x: [batch, input], h: [batch, hidden] -> new h [batch, hidden].
+    Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+    int64_t InputSize() const { return input_size_; }
+    int64_t HiddenSize() const { return hidden_size_; }
+    int64_t ForwardFlops(int64_t batch) const;
+
+  private:
+    int64_t input_size_;
+    int64_t hidden_size_;
+    Linear ih_;  ///< produces [r|z|n] gates from x: [batch, 3*hidden]
+    Linear hh_;  ///< produces [r|z|n] gates from h: [batch, 3*hidden]
+};
+
+/// LSTM cell state: hidden h and cell c, both [batch, hidden].
+struct LstmState {
+    Tensor h;
+    Tensor c;
+};
+
+/// Long short-term memory cell (Gers et al. 2000 variant with forget gate).
+class LstmCell : public Module {
+  public:
+    LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+    /// One step; returns the new state.
+    LstmState Forward(const Tensor& x, const LstmState& state) const;
+
+    /// Zero-initialized state for @p batch rows.
+    LstmState InitialState(int64_t batch) const;
+
+    int64_t InputSize() const { return input_size_; }
+    int64_t HiddenSize() const { return hidden_size_; }
+    int64_t ForwardFlops(int64_t batch) const;
+
+  private:
+    int64_t input_size_;
+    int64_t hidden_size_;
+    Linear ih_;  ///< [i|f|g|o] gates from x: [batch, 4*hidden]
+    Linear hh_;  ///< [i|f|g|o] gates from h: [batch, 4*hidden]
+};
+
+}  // namespace dgnn::nn

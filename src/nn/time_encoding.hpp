@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file
+/// Functional time encoders: the Bochner/harmonic encoder of TGAT/TGN
+/// (cos(t*w + b) feature map of relative time) and Time2Vec (Kazemi et al.).
+
+#include "nn/module.hpp"
+
+namespace dgnn::nn {
+
+/// Bochner-theorem-inspired harmonic time encoding used by TGAT and TGN:
+/// phi(t) = cos(t * w + b) with learnable frequencies w.
+class BochnerTimeEncoder : public Module {
+  public:
+    BochnerTimeEncoder(int64_t dim, Rng& rng);
+
+    /// deltas: rank-1 [n] relative times -> [n, dim] embedding.
+    Tensor Forward(const Tensor& deltas) const;
+
+    int64_t Dim() const { return dim_; }
+    int64_t ForwardFlops(int64_t n) const { return 3 * n * dim_; }
+
+  private:
+    int64_t dim_;
+    Tensor frequencies_;  ///< [dim]
+    Tensor phases_;       ///< [dim]
+};
+
+/// Time2Vec: first component linear, the rest sinusoidal.
+class Time2Vec : public Module {
+  public:
+    Time2Vec(int64_t dim, Rng& rng);
+
+    /// times: rank-1 [n] -> [n, dim] embedding.
+    Tensor Forward(const Tensor& times) const;
+
+    int64_t Dim() const { return dim_; }
+    int64_t ForwardFlops(int64_t n) const { return 3 * n * dim_; }
+
+  private:
+    int64_t dim_;
+    Tensor weights_;  ///< [dim]
+    Tensor biases_;   ///< [dim]
+};
+
+}  // namespace dgnn::nn

@@ -1,0 +1,49 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dgnn::sim {
+
+double
+Occupancy(const DeviceSpec& spec, const KernelDesc& kernel)
+{
+    DGNN_CHECK(kernel.parallel_items >= 1, "kernel '", kernel.name,
+               "' has non-positive parallel_items ", kernel.parallel_items);
+    const double raw = static_cast<double>(kernel.parallel_items) /
+                       static_cast<double>(spec.saturation_items);
+    return std::clamp(raw, spec.occupancy_floor, 1.0);
+}
+
+SimTime
+ComputeTime(const DeviceSpec& spec, const KernelDesc& kernel)
+{
+    DGNN_CHECK(kernel.flops >= 0 && kernel.bytes >= 0, "kernel '", kernel.name,
+               "' has negative work");
+    const double occ = Occupancy(spec, kernel);
+
+    // GFLOP/s == kflops per microsecond.
+    const double flops_per_us = spec.peak_gflops * 1e3 * occ;
+    const SimTime t_comp =
+        flops_per_us > 0.0 ? static_cast<double>(kernel.flops) / flops_per_us : 0.0;
+
+    // GB/s == kbytes per microsecond. Memory saturates faster than compute
+    // (a quarter of the device streams near-full bandwidth).
+    double bw_per_us = spec.mem_bw_gbps * 1e3 * std::min(1.0, 4.0 * occ);
+    if (kernel.irregular) {
+        bw_per_us /= spec.irregular_penalty;
+    }
+    const SimTime t_mem =
+        bw_per_us > 0.0 ? static_cast<double>(kernel.bytes) / bw_per_us : 0.0;
+
+    return std::max(t_comp, t_mem);
+}
+
+SimTime
+KernelDuration(const DeviceSpec& spec, const KernelDesc& kernel)
+{
+    return spec.launch_overhead_us + ComputeTime(spec, kernel);
+}
+
+}  // namespace dgnn::sim

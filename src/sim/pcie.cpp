@@ -1,0 +1,21 @@
+#include "sim/pcie.hpp"
+
+#include "support/check.hpp"
+
+namespace dgnn::sim {
+
+SimTime
+PcieLink::TransferTime(int64_t bytes) const
+{
+    DGNN_CHECK(bytes >= 0, "negative transfer size ", bytes);
+    // GB/s == kbytes per microsecond.
+    return latency_us_ + static_cast<double>(bytes) / (bandwidth_gbps_ * 1e3);
+}
+
+Stream::Interval
+PcieLink::Schedule(SimTime earliest_start, int64_t bytes)
+{
+    return queue_.Enqueue(earliest_start, TransferTime(bytes));
+}
+
+}  // namespace dgnn::sim

@@ -1,0 +1,339 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dgnn::sim {
+
+namespace {
+const std::string kUncategorized = "Uncategorized";
+}  // namespace
+
+const char*
+ToString(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::kCpuOnly:
+        return "CPU";
+      case ExecMode::kHybrid:
+        return "GPU";
+    }
+    return "?";
+}
+
+DeviceBuffer&
+DeviceBuffer::operator=(DeviceBuffer&& other) noexcept
+{
+    if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        id_ = other.id_;
+        bytes_ = other.bytes_;
+        other.pool_ = nullptr;
+        other.id_ = 0;
+        other.bytes_ = 0;
+    }
+    return *this;
+}
+
+void
+DeviceBuffer::Release()
+{
+    if (pool_ != nullptr) {
+        pool_->Free(id_);
+        pool_ = nullptr;
+        id_ = 0;
+        bytes_ = 0;
+    }
+}
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config)),
+      cpu_(config_.cpu),
+      gpu_(config_.gpu),
+      pcie_(config_.pcie_bandwidth_gbps, config_.pcie_latency_us),
+      compute_stream_("compute")
+{
+    DGNN_CHECK(config_.cpu.kind == DeviceKind::kCpu, "cpu spec must be a CPU");
+    DGNN_CHECK(config_.gpu.kind == DeviceKind::kGpu, "gpu spec must be a GPU");
+}
+
+Device&
+Runtime::Gpu()
+{
+    DGNN_CHECK(HasGpu(), "no GPU in CPU-only mode");
+    return gpu_;
+}
+
+const Device&
+Runtime::Gpu() const
+{
+    DGNN_CHECK(HasGpu(), "no GPU in CPU-only mode");
+    return gpu_;
+}
+
+void
+Runtime::PushCategory(std::string category)
+{
+    category_stack_.push_back(std::move(category));
+}
+
+void
+Runtime::PopCategory()
+{
+    DGNN_CHECK(!category_stack_.empty(), "PopCategory on empty category stack");
+    category_stack_.pop_back();
+}
+
+const std::string&
+Runtime::CurrentCategory() const
+{
+    return category_stack_.empty() ? kUncategorized : category_stack_.back();
+}
+
+void
+Runtime::AdvanceHost(SimTime delta_us)
+{
+    DGNN_ASSERT(delta_us >= 0.0);
+    host_time_ += delta_us;
+    category_time_[CurrentCategory()] += delta_us;
+}
+
+TraceEvent
+Runtime::MakeEvent(EventKind kind, std::string name, std::string device, SimTime start,
+                   SimTime end) const
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.name = std::move(name);
+    e.category = CurrentCategory();
+    e.device = std::move(device);
+    e.start_us = start;
+    e.end_us = end;
+    return e;
+}
+
+SimTime
+Runtime::RunHost(const KernelDesc& kernel)
+{
+    const SimTime duration = KernelDuration(cpu_.Spec(), kernel);
+    const double occ = Occupancy(cpu_.Spec(), kernel);
+    const SimTime start = host_time_;
+    AdvanceHost(duration);
+    cpu_.AddBusy(duration, occ);
+
+    TraceEvent e = MakeEvent(EventKind::kHostOp, kernel.name, cpu_.Name(), start,
+                             host_time_);
+    e.occupancy = occ;
+    e.flops = kernel.flops;
+    e.bytes = kernel.bytes;
+    trace_.Add(std::move(e));
+    return host_time_;
+}
+
+SimTime
+Runtime::RunHostFor(const std::string& name, SimTime duration_us)
+{
+    DGNN_CHECK(duration_us >= 0.0, "negative host duration ", duration_us);
+    const SimTime start = host_time_;
+    AdvanceHost(duration_us);
+    cpu_.AddBusy(duration_us, cpu_.Spec().occupancy_floor);
+    trace_.Add(MakeEvent(EventKind::kHostOp, name, cpu_.Name(), start, host_time_));
+    return host_time_;
+}
+
+SimTime
+Runtime::Launch(const KernelDesc& kernel)
+{
+    Device& dev = ComputeDevice();
+    const SimTime duration = KernelDuration(dev.Spec(), kernel);
+    const SimTime execution = ComputeTime(dev.Spec(), kernel);
+    const double occ = Occupancy(dev.Spec(), kernel);
+
+    SimTime start;
+    SimTime end;
+    if (HasGpu()) {
+        // Asynchronous: host pays the submit cost, the kernel queues on the
+        // compute stream behind previously launched work.
+        const SimTime earliest = host_time_ + config_.submit_overhead_us;
+        const Stream::Interval iv = compute_stream_.Enqueue(earliest, duration);
+        start = iv.start;
+        end = iv.end;
+        AdvanceHost(config_.submit_overhead_us);
+    } else {
+        // Synchronous on the CPU: the host thread *is* the device.
+        start = host_time_;
+        end = start + duration;
+        AdvanceHost(duration);
+    }
+    // Only the execution portion keeps the device busy; the launch gap is
+    // idle time (this is what nvidia-smi-style utilization measures).
+    dev.AddBusy(execution, occ);
+
+    // The trace event spans the execution interval, after the launch gap.
+    TraceEvent e =
+        MakeEvent(EventKind::kKernel, kernel.name, dev.Name(), end - execution, end);
+    e.occupancy = occ;
+    e.flops = kernel.flops;
+    e.bytes = kernel.bytes;
+    trace_.Add(std::move(e));
+    return end;
+}
+
+SimTime
+Runtime::CopyToDevice(int64_t bytes, const std::string& what)
+{
+    if (!HasGpu()) {
+        return host_time_;
+    }
+    const Stream::Interval iv = pcie_.Schedule(host_time_, bytes);
+    const SimTime start = host_time_;
+    AdvanceHost(iv.end - host_time_);
+    h2d_bytes_ += bytes;
+    ++transfer_count_;
+    transfer_time_us_ += host_time_ - start;
+    // Data is visible to later kernels: the stream may not start work that
+    // was issued after this copy before the copy ends. Enqueue a zero-length
+    // fence at the copy end.
+    compute_stream_.Enqueue(iv.end, 0.0);
+
+    TraceEvent e = MakeEvent(EventKind::kTransfer, what, "PCIe", iv.start, iv.end);
+    e.bytes = bytes;
+    e.direction = CopyDirection::kHostToDevice;
+    trace_.Add(std::move(e));
+    return host_time_;
+}
+
+SimTime
+Runtime::CopyToHost(int64_t bytes, const std::string& what)
+{
+    if (!HasGpu()) {
+        return host_time_;
+    }
+    // The copy reads results produced on the compute stream: wait for it.
+    const SimTime earliest = std::max(host_time_, compute_stream_.ReadyTime());
+    const Stream::Interval iv = pcie_.Schedule(earliest, bytes);
+    const SimTime start = host_time_;
+    AdvanceHost(iv.end - host_time_);
+    d2h_bytes_ += bytes;
+    ++transfer_count_;
+    transfer_time_us_ += host_time_ - start;
+
+    TraceEvent e = MakeEvent(EventKind::kTransfer, what, "PCIe", iv.start, iv.end);
+    e.bytes = bytes;
+    e.direction = CopyDirection::kDeviceToHost;
+    trace_.Add(std::move(e));
+    return host_time_;
+}
+
+SimTime
+Runtime::Synchronize()
+{
+    if (!HasGpu()) {
+        return host_time_;
+    }
+    const SimTime ready = compute_stream_.ReadyTime();
+    if (ready > host_time_) {
+        const SimTime start = host_time_;
+        sync_wait_us_ += ready - host_time_;
+        AdvanceHost(ready - host_time_);
+        trace_.Add(MakeEvent(EventKind::kSync, "cuda_synchronize", cpu_.Name(), start,
+                             host_time_));
+    }
+    return host_time_;
+}
+
+void
+Runtime::Marker(const std::string& name)
+{
+    trace_.Add(MakeEvent(EventKind::kMarker, name, cpu_.Name(), host_time_,
+                         host_time_));
+}
+
+DeviceBuffer
+Runtime::AllocDevice(int64_t bytes, const std::string& label)
+{
+    Device& dev = ComputeDevice();
+    const int64_t id = dev.Memory().Allocate(bytes, label);
+    return DeviceBuffer(&dev.Memory(), id, bytes);
+}
+
+DeviceBuffer
+Runtime::AllocHost(int64_t bytes, const std::string& label)
+{
+    const int64_t id = cpu_.Memory().Allocate(bytes, label);
+    return DeviceBuffer(&cpu_.Memory(), id, bytes);
+}
+
+const OneTimeWarmup&
+Runtime::EnsureWarm(int64_t weight_bytes)
+{
+    if (one_time_warmup_.has_value()) {
+        return *one_time_warmup_;
+    }
+    const DeviceSpec& spec = ComputeDevice().Spec();
+    OneTimeWarmup w = ComputeOneTimeWarmup(spec, pcie_, weight_bytes);
+
+    const SimTime t0 = host_time_;
+    AdvanceHost(w.context_init_us);
+    trace_.Add(MakeEvent(EventKind::kMarker, "warmup:context_init",
+                         ComputeDevice().Name(), t0, host_time_));
+    const SimTime t1 = host_time_;
+    AdvanceHost(w.model_init_us);
+    trace_.Add(MakeEvent(EventKind::kMarker, "warmup:model_init",
+                         ComputeDevice().Name(), t1, host_time_));
+    if (w.weight_transfer_us > 0.0) {
+        const SimTime t2 = host_time_;
+        AdvanceHost(w.weight_transfer_us);
+        TraceEvent e = MakeEvent(EventKind::kTransfer, "warmup:weights_h2d", "PCIe", t2,
+                                 host_time_);
+        e.bytes = weight_bytes;
+        e.direction = CopyDirection::kHostToDevice;
+        trace_.Add(std::move(e));
+    }
+    // Warm-up stalls the compute stream too: nothing ran before it.
+    compute_stream_.Enqueue(host_time_, 0.0);
+
+    one_time_warmup_ = w;
+    return *one_time_warmup_;
+}
+
+PerRunWarmup
+Runtime::RunAllocWarmup(int64_t working_set_bytes)
+{
+    const PerRunWarmup w =
+        ComputePerRunWarmup(ComputeDevice().Spec(), working_set_bytes);
+    const SimTime start = host_time_;
+    AdvanceHost(w.TotalUs());
+    trace_.Add(MakeEvent(EventKind::kMarker, "warmup:alloc", ComputeDevice().Name(),
+                         start, host_time_));
+    compute_stream_.Enqueue(host_time_, 0.0);
+    return w;
+}
+
+void
+Runtime::ResetMeasurementWindow()
+{
+    Synchronize();
+    measure_start_ = host_time_;
+    cpu_.ResetBusy();
+    gpu_.ResetBusy();
+    cpu_.Memory().ResetPeak();
+    gpu_.Memory().ResetPeak();
+    h2d_bytes_ = 0;
+    d2h_bytes_ = 0;
+    transfer_count_ = 0;
+    sync_wait_us_ = 0.0;
+    transfer_time_us_ = 0.0;
+    category_time_.clear();
+}
+
+double
+Runtime::ComputeUtilizationPct() const
+{
+    const SimTime elapsed = ElapsedInWindow();
+    return ComputeDevice().UtilizationPct(elapsed);
+}
+
+}  // namespace dgnn::sim

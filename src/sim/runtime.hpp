@@ -1,0 +1,228 @@
+#pragma once
+
+/// @file
+/// The simulated heterogeneous runtime. Models issue host ops, device
+/// kernels, and PCIe copies through this class; it advances a deterministic
+/// simulated clock, applies the analytic device cost models, tracks memory
+/// and transfer volumes, and records everything into a Trace.
+///
+/// Execution semantics mirror eager-mode PyTorch + CUDA:
+///  * host ops run synchronously on the CPU timeline;
+///  * device kernels are asynchronous — the host pays only a submit cost and
+///    the kernel lands on the compute stream;
+///  * copies block the host (pageable-memory semantics);
+///  * Synchronize() blocks the host until the compute stream drains.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/kernel.hpp"
+#include "sim/pcie.hpp"
+#include "sim/stream.hpp"
+#include "sim/trace.hpp"
+#include "sim/warmup.hpp"
+
+namespace dgnn::sim {
+
+/// Whether inference runs on the CPU alone or offloads to the GPU.
+enum class ExecMode {
+    kCpuOnly,
+    kHybrid,
+};
+
+const char* ToString(ExecMode mode);
+
+/// Configuration for a simulated system.
+struct RuntimeConfig {
+    DeviceSpec cpu = DeviceSpec::XeonGold6226R();
+    DeviceSpec gpu = DeviceSpec::RtxA6000();
+    ExecMode mode = ExecMode::kHybrid;
+    double pcie_bandwidth_gbps = 12.0;
+    SimTime pcie_latency_us = 10.0;
+    /// Host-side cost of submitting one asynchronous kernel, us.
+    SimTime submit_overhead_us = 1.5;
+};
+
+class Runtime;
+
+/// RAII handle for a simulated device/host allocation.
+class DeviceBuffer {
+  public:
+    DeviceBuffer() = default;
+    DeviceBuffer(MemoryPool* pool, int64_t id, int64_t bytes)
+        : pool_(pool), id_(id), bytes_(bytes) {}
+    ~DeviceBuffer() { Release(); }
+
+    DeviceBuffer(const DeviceBuffer&) = delete;
+    DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+    DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+    DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+
+    int64_t Bytes() const { return bytes_; }
+    bool Valid() const { return pool_ != nullptr; }
+
+    /// Frees the allocation early.
+    void Release();
+
+  private:
+    MemoryPool* pool_ = nullptr;
+    int64_t id_ = 0;
+    int64_t bytes_ = 0;
+};
+
+/// Scoped category annotation: trace events issued inside carry the label.
+class CategoryScope;
+
+/// The simulated system: one CPU, optionally one GPU, one PCIe link.
+class Runtime {
+  public:
+    explicit Runtime(RuntimeConfig config = RuntimeConfig{});
+
+    ExecMode Mode() const { return config_.mode; }
+    bool HasGpu() const { return config_.mode == ExecMode::kHybrid; }
+
+    Device& Cpu() { return cpu_; }
+    const Device& Cpu() const { return cpu_; }
+    Device& Gpu();
+    const Device& Gpu() const;
+
+    /// The device compute kernels land on (GPU when hybrid, else CPU).
+    Device& ComputeDevice() { return HasGpu() ? gpu_ : cpu_; }
+    const Device& ComputeDevice() const { return HasGpu() ? gpu_ : cpu_; }
+
+    PcieLink& Pcie() { return pcie_; }
+
+    /// Current host (CPU thread) simulated time, us.
+    SimTime Now() const { return host_time_; }
+
+    /// --- Category stack -------------------------------------------------
+    void PushCategory(std::string category);
+    void PopCategory();
+    const std::string& CurrentCategory() const;
+
+    /// --- Work issue -----------------------------------------------------
+
+    /// Runs a CPU-side op synchronously (sampling, batching, host math).
+    /// Returns its completion time.
+    SimTime RunHost(const KernelDesc& kernel);
+
+    /// Host op with an explicitly modeled duration (e.g. disk load).
+    SimTime RunHostFor(const std::string& name, SimTime duration_us);
+
+    /// Launches a compute kernel on the compute device. Asynchronous when a
+    /// GPU is present. Returns the kernel completion time on its stream.
+    SimTime Launch(const KernelDesc& kernel);
+
+    /// Blocking host->device copy. No-op (returns Now()) in CPU-only mode.
+    SimTime CopyToDevice(int64_t bytes, const std::string& what);
+
+    /// Blocking device->host copy; waits for the compute stream first.
+    SimTime CopyToHost(int64_t bytes, const std::string& what);
+
+    /// Blocks the host until the compute stream drains; records the wait.
+    SimTime Synchronize();
+
+    /// Zero-duration annotation in the trace (phase boundary).
+    void Marker(const std::string& name);
+
+    /// --- Memory ---------------------------------------------------------
+    DeviceBuffer AllocDevice(int64_t bytes, const std::string& label);
+    DeviceBuffer AllocHost(int64_t bytes, const std::string& label);
+
+    /// --- Warm-up --------------------------------------------------------
+
+    /// One-time GPU warm-up (context + model init + weight transfer); the
+    /// first call advances the host clock and records marker events, later
+    /// calls return the cached report. CPU-only mode pays model init only.
+    const OneTimeWarmup& EnsureWarm(int64_t weight_bytes);
+
+    /// Whether EnsureWarm has run.
+    bool IsWarm() const { return one_time_warmup_.has_value(); }
+
+    /// Per-run allocation warm-up; advances the host clock.
+    PerRunWarmup RunAllocWarmup(int64_t working_set_bytes);
+
+    /// --- Measurement ----------------------------------------------------
+
+    /// Starts a measurement window: resets device busy counters and peak
+    /// watermarks; utilization and busy times report from this point.
+    void ResetMeasurementWindow();
+
+    SimTime MeasureStart() const { return measure_start_; }
+
+    /// Elapsed host time inside the current measurement window.
+    SimTime ElapsedInWindow() const { return host_time_ - measure_start_; }
+
+    /// Compute-device utilization over the current window, percent.
+    double ComputeUtilizationPct() const;
+
+    int64_t BytesToDevice() const { return h2d_bytes_; }
+    int64_t BytesToHost() const { return d2h_bytes_; }
+    int64_t TransferCount() const { return transfer_count_; }
+
+    /// Host time spent blocked in Synchronize() since window reset.
+    SimTime SyncWaitTime() const { return sync_wait_us_; }
+
+    /// Host time spent in PCIe copies since window reset.
+    SimTime TransferTime() const { return transfer_time_us_; }
+
+    /// Host time attributed to each category since the window reset. The
+    /// values partition ElapsedInWindow() exactly (async kernel execution is
+    /// captured through the Synchronize() waits the model performs), which
+    /// is what the paper's per-module breakdowns (Fig 7) report.
+    const std::map<std::string, SimTime>& CategoryTimes() const
+    {
+        return category_time_;
+    }
+
+    Trace& GetTrace() { return trace_; }
+    const Trace& GetTrace() const { return trace_; }
+
+  private:
+    /// Advances the host clock, attributing the delta to the current
+    /// category. Every host-time mutation funnels through here.
+    void AdvanceHost(SimTime delta_us);
+
+    TraceEvent MakeEvent(EventKind kind, std::string name, std::string device,
+                         SimTime start, SimTime end) const;
+
+    RuntimeConfig config_;
+    Device cpu_;
+    Device gpu_;
+    PcieLink pcie_;
+    Stream compute_stream_;
+    SimTime host_time_ = 0.0;
+    SimTime measure_start_ = 0.0;
+    std::vector<std::string> category_stack_;
+    std::map<std::string, SimTime> category_time_;
+    std::optional<OneTimeWarmup> one_time_warmup_;
+    Trace trace_;
+    int64_t h2d_bytes_ = 0;
+    int64_t d2h_bytes_ = 0;
+    int64_t transfer_count_ = 0;
+    SimTime sync_wait_us_ = 0.0;
+    SimTime transfer_time_us_ = 0.0;
+};
+
+/// RAII helper pushing a category for the duration of a scope.
+class CategoryScope {
+  public:
+    CategoryScope(Runtime& runtime, std::string category) : runtime_(runtime)
+    {
+        runtime_.PushCategory(std::move(category));
+    }
+    ~CategoryScope() { runtime_.PopCategory(); }
+
+    CategoryScope(const CategoryScope&) = delete;
+    CategoryScope& operator=(const CategoryScope&) = delete;
+
+  private:
+    Runtime& runtime_;
+};
+
+}  // namespace dgnn::sim

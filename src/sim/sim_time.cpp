@@ -1,0 +1,25 @@
+#include "sim/sim_time.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace dgnn::sim {
+
+std::string
+FormatDuration(SimTime us)
+{
+    std::ostringstream oss;
+    oss << std::fixed;
+    const double a = std::fabs(us);
+    if (a >= 1e6) {
+        oss << std::setprecision(2) << us / 1e6 << " s";
+    } else if (a >= 1e3) {
+        oss << std::setprecision(2) << us / 1e3 << " ms";
+    } else {
+        oss << std::setprecision(2) << us << " us";
+    }
+    return oss.str();
+}
+
+}  // namespace dgnn::sim

@@ -1,0 +1,18 @@
+#pragma once
+
+/// @file
+/// Simulated time base. All simulator timestamps and durations are in
+/// microseconds, stored as double. Nothing in the simulator ever reads the
+/// wall clock, so runs replay deterministically.
+
+#include <string>
+
+namespace dgnn::sim {
+
+/// Simulated time / duration in microseconds.
+using SimTime = double;
+
+/// Formats a duration with an auto-selected unit (us / ms / s).
+std::string FormatDuration(SimTime us);
+
+}  // namespace dgnn::sim

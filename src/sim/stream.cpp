@@ -1,0 +1,18 @@
+#include "sim/stream.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dgnn::sim {
+
+Stream::Interval
+Stream::Enqueue(SimTime earliest_start, SimTime duration)
+{
+    DGNN_CHECK(duration >= 0.0, "negative duration ", duration, " on stream ", name_);
+    const SimTime start = std::max(earliest_start, ready_us_);
+    ready_us_ = start + duration;
+    return Interval{start, ready_us_};
+}
+
+}  // namespace dgnn::sim

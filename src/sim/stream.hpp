@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file
+/// An in-order execution queue on a device (the CUDA-stream analogue).
+/// The simulator only needs the stream's ready time: the moment its last
+/// enqueued operation completes.
+
+#include <string>
+
+#include "sim/sim_time.hpp"
+
+namespace dgnn::sim {
+
+/// FIFO work queue bound to one device.
+class Stream {
+  public:
+    explicit Stream(std::string name) : name_(std::move(name)) {}
+
+    const std::string& Name() const { return name_; }
+
+    /// Time at which all previously enqueued work has finished.
+    SimTime ReadyTime() const { return ready_us_; }
+
+    /// Enqueues work starting no earlier than @p earliest_start lasting
+    /// @p duration; returns the [start, end) interval actually scheduled.
+    struct Interval {
+        SimTime start;
+        SimTime end;
+    };
+    Interval Enqueue(SimTime earliest_start, SimTime duration);
+
+    /// Resets the queue to idle at t=0.
+    void Reset() { ready_us_ = 0.0; }
+
+  private:
+    std::string name_;
+    SimTime ready_us_ = 0.0;
+};
+
+}  // namespace dgnn::sim

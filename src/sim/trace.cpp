@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace dgnn::sim {
+
+const char*
+ToString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::kKernel:
+        return "kernel";
+      case EventKind::kTransfer:
+        return "transfer";
+      case EventKind::kHostOp:
+        return "host_op";
+      case EventKind::kSync:
+        return "sync";
+      case EventKind::kMarker:
+        return "marker";
+    }
+    return "?";
+}
+
+const char*
+ToString(CopyDirection dir)
+{
+    switch (dir) {
+      case CopyDirection::kHostToDevice:
+        return "H2D";
+      case CopyDirection::kDeviceToHost:
+        return "D2H";
+      case CopyDirection::kNone:
+        return "-";
+    }
+    return "?";
+}
+
+SimTime
+Trace::EndTime() const
+{
+    SimTime t = 0.0;
+    for (const TraceEvent& e : events_) {
+        t = std::max(t, e.end_us);
+    }
+    return t;
+}
+
+SimTime
+Trace::StartTime() const
+{
+    if (events_.empty()) {
+        return 0.0;
+    }
+    SimTime t = events_.front().start_us;
+    for (const TraceEvent& e : events_) {
+        t = std::min(t, e.start_us);
+    }
+    return t;
+}
+
+}  // namespace dgnn::sim

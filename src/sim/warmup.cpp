@@ -1,0 +1,34 @@
+#include "sim/warmup.hpp"
+
+#include "support/check.hpp"
+
+namespace dgnn::sim {
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}  // namespace
+
+OneTimeWarmup
+ComputeOneTimeWarmup(const DeviceSpec& spec, const PcieLink& link, int64_t weight_bytes)
+{
+    DGNN_CHECK(weight_bytes >= 0, "negative weight bytes ", weight_bytes);
+    OneTimeWarmup w;
+    w.context_init_us = spec.context_init_us;
+    const double weight_mb = static_cast<double>(weight_bytes) / kBytesPerMb;
+    w.model_init_us = spec.model_init_fixed_us + spec.model_init_per_mb_us * weight_mb;
+    w.weight_transfer_us =
+        spec.kind == DeviceKind::kGpu ? link.TransferTime(weight_bytes) : 0.0;
+    return w;
+}
+
+PerRunWarmup
+ComputePerRunWarmup(const DeviceSpec& spec, int64_t working_set_bytes)
+{
+    DGNN_CHECK(working_set_bytes >= 0, "negative working set ", working_set_bytes);
+    PerRunWarmup w;
+    const double mb = static_cast<double>(working_set_bytes) / kBytesPerMb;
+    w.alloc_us = spec.alloc_fixed_us + spec.alloc_per_mb_us * mb;
+    return w;
+}
+
+}  // namespace dgnn::sim

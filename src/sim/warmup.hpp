@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file
+/// GPU warm-up model (paper section 4.4). Two distinct overheads:
+///
+///  * One-time warm-up — lazy CUDA context creation, model initialization /
+///    stream capture, and the initial weight transfer. Paid once per
+///    process, seconds in magnitude.
+///  * Per-run warm-up — allocator growth before each inference run, which
+///    scales with the working set and whose *relative* share grows with
+///    batch size (Table 2).
+
+#include <cstdint>
+
+#include "sim/device_spec.hpp"
+#include "sim/pcie.hpp"
+#include "sim/sim_time.hpp"
+
+namespace dgnn::sim {
+
+/// Components of the one-time GPU warm-up.
+struct OneTimeWarmup {
+    SimTime context_init_us = 0.0;
+    SimTime model_init_us = 0.0;
+    SimTime weight_transfer_us = 0.0;
+
+    SimTime TotalUs() const
+    {
+        return context_init_us + model_init_us + weight_transfer_us;
+    }
+};
+
+/// Components of the per-run warm-up.
+struct PerRunWarmup {
+    SimTime alloc_us = 0.0;
+
+    SimTime TotalUs() const { return alloc_us; }
+};
+
+/// Computes the one-time warm-up for a model with @p weight_bytes of
+/// parameters on @p spec, transferring weights over @p link.
+OneTimeWarmup ComputeOneTimeWarmup(const DeviceSpec& spec, const PcieLink& link,
+                                   int64_t weight_bytes);
+
+/// Computes the per-run allocation warm-up for @p working_set_bytes.
+PerRunWarmup ComputePerRunWarmup(const DeviceSpec& spec, int64_t working_set_bytes);
+
+}  // namespace dgnn::sim

@@ -1,0 +1,13 @@
+#include "support/check.hpp"
+
+namespace dgnn::detail {
+
+void
+ThrowError(const std::string& message, const char* file, int line)
+{
+    std::ostringstream oss;
+    oss << message << " (" << file << ":" << line << ")";
+    throw Error(oss.str());
+}
+
+}  // namespace dgnn::detail

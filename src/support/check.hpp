@@ -1,0 +1,53 @@
+#pragma once
+
+/// @file
+/// Error-handling primitives shared by every dgnn subsystem.
+///
+/// Follows the gem5 fatal()/panic() split: DGNN_CHECK is for conditions a
+/// *user* of the library can violate (bad arguments, shape mismatches) and
+/// throws dgnn::Error; DGNN_ASSERT is for internal invariants whose failure
+/// indicates a library bug and aborts in debug builds.
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dgnn {
+
+/// Exception type thrown on user-facing precondition violations.
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Builds an error message by streaming arbitrary parts together.
+template <typename... Parts>
+std::string BuildMessage(const Parts&... parts)
+{
+    std::ostringstream oss;
+    (oss << ... << parts);
+    return oss.str();
+}
+
+[[noreturn]] void ThrowError(const std::string& message, const char* file, int line);
+
+}  // namespace detail
+
+}  // namespace dgnn
+
+/// Validates a user-facing precondition; throws dgnn::Error on failure.
+#define DGNN_CHECK(cond, ...)                                                        \
+    do {                                                                             \
+        if (!(cond)) {                                                               \
+            ::dgnn::detail::ThrowError(                                              \
+                ::dgnn::detail::BuildMessage("check failed: " #cond " ",             \
+                                             __VA_ARGS__),                           \
+                __FILE__, __LINE__);                                                 \
+        }                                                                            \
+    } while (false)
+
+/// Internal invariant; failure indicates a dgnn bug (panic-style).
+#define DGNN_ASSERT(cond) assert(cond)

@@ -1,0 +1,84 @@
+#include "tensor/random.hpp"
+
+#include <cmath>
+
+namespace dgnn {
+
+float
+Rng::Uniform(float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+}
+
+float
+Rng::Normal(float mean, float stddev)
+{
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+}
+
+int64_t
+Rng::UniformInt(int64_t lo, int64_t hi)
+{
+    DGNN_CHECK(lo <= hi, "UniformInt range [", lo, ", ", hi, "] is empty");
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::Exponential(double rate)
+{
+    DGNN_CHECK(rate > 0.0, "Exponential rate must be positive, got ", rate);
+    std::exponential_distribution<double> dist(rate);
+    return dist(engine_);
+}
+
+bool
+Rng::Bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+Rng
+Rng::Fork()
+{
+    return Rng(engine_());
+}
+
+namespace init {
+
+Tensor
+Uniform(Shape shape, Rng& rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        t.Data()[i] = rng.Uniform(lo, hi);
+    }
+    return t;
+}
+
+Tensor
+Normal(Shape shape, Rng& rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        t.Data()[i] = rng.Normal(0.0f, stddev);
+    }
+    return t;
+}
+
+Tensor
+XavierUniform(int64_t fan_out, int64_t fan_in, Rng& rng)
+{
+    DGNN_CHECK(fan_out > 0 && fan_in > 0, "XavierUniform fans must be positive, got ",
+               fan_out, " x ", fan_in);
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    return Uniform(Shape({fan_out, fan_in}), rng, -bound, bound);
+}
+
+}  // namespace init
+
+}  // namespace dgnn

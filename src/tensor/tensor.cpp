@@ -1,0 +1,260 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace dgnn {
+
+void
+Shape::Validate() const
+{
+    DGNN_CHECK(dims_.size() <= 4, "tensors support at most 4 dimensions, got rank ",
+               dims_.size());
+    for (int64_t d : dims_) {
+        DGNN_CHECK(d >= 0, "negative dimension ", d, " in shape");
+    }
+}
+
+int64_t
+Shape::Dim(int64_t axis) const
+{
+    const int64_t rank = Rank();
+    if (axis < 0) {
+        axis += rank;
+    }
+    DGNN_CHECK(axis >= 0 && axis < rank, "axis ", axis, " out of range for rank ", rank);
+    return dims_[static_cast<size_t>(axis)];
+}
+
+int64_t
+Shape::NumElements() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_) {
+        n *= d;
+    }
+    return n;
+}
+
+std::string
+Shape::ToString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0) {
+            oss << ", ";
+        }
+        oss << dims_[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+std::ostream&
+operator<<(std::ostream& os, const Shape& shape)
+{
+    return os << shape.ToString();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(shape_.NumElements()), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(shape_.NumElements()), fill)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values))
+{
+    DGNN_CHECK(static_cast<int64_t>(data_.size()) == shape_.NumElements(),
+               "value count ", data_.size(), " does not match shape ", shape_.ToString());
+}
+
+Tensor
+Tensor::FromVector(std::vector<float> values)
+{
+    const int64_t n = static_cast<int64_t>(values.size());
+    return Tensor(Shape({n}), std::move(values));
+}
+
+Tensor
+Tensor::Eye(int64_t n)
+{
+    DGNN_CHECK(n >= 0, "Eye size must be non-negative, got ", n);
+    Tensor t(Shape({n, n}));
+    for (int64_t i = 0; i < n; ++i) {
+        t.At(i, i) = 1.0f;
+    }
+    return t;
+}
+
+float&
+Tensor::At(int64_t flat_index)
+{
+    DGNN_CHECK(flat_index >= 0 && flat_index < NumElements(), "flat index ", flat_index,
+               " out of range for ", NumElements(), " elements");
+    return data_[static_cast<size_t>(flat_index)];
+}
+
+float
+Tensor::At(int64_t flat_index) const
+{
+    DGNN_CHECK(flat_index >= 0 && flat_index < NumElements(), "flat index ", flat_index,
+               " out of range for ", NumElements(), " elements");
+    return data_[static_cast<size_t>(flat_index)];
+}
+
+float&
+Tensor::At(int64_t row, int64_t col)
+{
+    DGNN_CHECK(Rank() == 2, "2-D access on tensor of shape ", shape_.ToString());
+    const int64_t rows = shape_.Dim(0);
+    const int64_t cols = shape_.Dim(1);
+    DGNN_CHECK(row >= 0 && row < rows && col >= 0 && col < cols, "index (", row, ", ",
+               col, ") out of range for shape ", shape_.ToString());
+    return data_[static_cast<size_t>(row * cols + col)];
+}
+
+float
+Tensor::At(int64_t row, int64_t col) const
+{
+    return const_cast<Tensor*>(this)->At(row, col);
+}
+
+float&
+Tensor::At(int64_t i, int64_t j, int64_t k)
+{
+    DGNN_CHECK(Rank() == 3, "3-D access on tensor of shape ", shape_.ToString());
+    const int64_t d0 = shape_.Dim(0);
+    const int64_t d1 = shape_.Dim(1);
+    const int64_t d2 = shape_.Dim(2);
+    DGNN_CHECK(i >= 0 && i < d0 && j >= 0 && j < d1 && k >= 0 && k < d2, "index (", i,
+               ", ", j, ", ", k, ") out of range for shape ", shape_.ToString());
+    return data_[static_cast<size_t>((i * d1 + j) * d2 + k)];
+}
+
+float
+Tensor::At(int64_t i, int64_t j, int64_t k) const
+{
+    return const_cast<Tensor*>(this)->At(i, j, k);
+}
+
+Tensor
+Tensor::Reshape(Shape new_shape) const
+{
+    DGNN_CHECK(new_shape.NumElements() == NumElements(), "cannot reshape ",
+               shape_.ToString(), " (", NumElements(), " elements) to ",
+               new_shape.ToString(), " (", new_shape.NumElements(), " elements)");
+    return Tensor(std::move(new_shape), data_);
+}
+
+Tensor
+Tensor::Row(int64_t row) const
+{
+    DGNN_CHECK(Rank() == 2, "Row() requires rank-2, got ", shape_.ToString());
+    const int64_t cols = shape_.Dim(1);
+    DGNN_CHECK(row >= 0 && row < shape_.Dim(0), "row ", row, " out of range");
+    std::vector<float> values(data_.begin() + row * cols,
+                              data_.begin() + (row + 1) * cols);
+    return Tensor(Shape({cols}), std::move(values));
+}
+
+void
+Tensor::SetRow(int64_t row, const Tensor& values)
+{
+    DGNN_CHECK(Rank() == 2, "SetRow() requires rank-2, got ", shape_.ToString());
+    const int64_t cols = shape_.Dim(1);
+    DGNN_CHECK(row >= 0 && row < shape_.Dim(0), "row ", row, " out of range");
+    DGNN_CHECK(values.NumElements() == cols, "row values have ", values.NumElements(),
+               " elements, expected ", cols);
+    std::copy(values.Data(), values.Data() + cols, data_.begin() + row * cols);
+}
+
+Tensor
+Tensor::RowSlice(int64_t begin, int64_t end) const
+{
+    DGNN_CHECK(Rank() == 2, "RowSlice() requires rank-2, got ", shape_.ToString());
+    const int64_t rows = shape_.Dim(0);
+    const int64_t cols = shape_.Dim(1);
+    DGNN_CHECK(begin >= 0 && begin <= end && end <= rows, "bad row slice [", begin,
+               ", ", end, ") for ", rows, " rows");
+    std::vector<float> values(data_.begin() + begin * cols, data_.begin() + end * cols);
+    return Tensor(Shape({end - begin, cols}), std::move(values));
+}
+
+void
+Tensor::Fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+double
+Tensor::Sum() const
+{
+    double acc = 0.0;
+    for (float v : data_) {
+        acc += static_cast<double>(v);
+    }
+    return acc;
+}
+
+double
+Tensor::Mean() const
+{
+    DGNN_CHECK(!data_.empty(), "Mean() of empty tensor");
+    return Sum() / static_cast<double>(data_.size());
+}
+
+float
+Tensor::AbsMax() const
+{
+    float m = 0.0f;
+    for (float v : data_) {
+        m = std::max(m, std::fabs(v));
+    }
+    return m;
+}
+
+bool
+Tensor::AllFinite() const
+{
+    for (float v : data_) {
+        if (!std::isfinite(v)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Tensor::ToString(int64_t max_elements) const
+{
+    std::ostringstream oss;
+    oss << "Tensor" << shape_.ToString() << " {";
+    const int64_t n = std::min<int64_t>(max_elements, NumElements());
+    for (int64_t i = 0; i < n; ++i) {
+        if (i > 0) {
+            oss << ", ";
+        }
+        oss << data_[static_cast<size_t>(i)];
+    }
+    if (NumElements() > n) {
+        oss << ", ...";
+    }
+    oss << "}";
+    return oss.str();
+}
+
+std::ostream&
+operator<<(std::ostream& os, const Tensor& tensor)
+{
+    return os << tensor.ToString();
+}
+
+}  // namespace dgnn

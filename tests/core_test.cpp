@@ -1,0 +1,324 @@
+// Tests for the profiling/bottleneck-analysis core (the paper's primary
+// contribution): profiler, breakdown, trace analysis, bottleneck analyzers,
+// table writer, Table-1 model registry.
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include <cstdio>
+
+#include "core/bottleneck.hpp"
+#include "core/breakdown.hpp"
+#include "core/csv_writer.hpp"
+#include "core/model_summary.hpp"
+#include "core/profiler.hpp"
+#include "core/table_writer.hpp"
+#include "core/trace_analysis.hpp"
+#include "sim/runtime.hpp"
+
+namespace dgnn::core {
+namespace {
+
+sim::Runtime
+MakeRuntime(sim::ExecMode mode = sim::ExecMode::kHybrid)
+{
+    sim::RuntimeConfig c;
+    c.mode = mode;
+    return sim::Runtime(c);
+}
+
+sim::KernelDesc
+Kernel(int64_t flops = 1000000, int64_t items = 1000)
+{
+    sim::KernelDesc k;
+    k.name = "k";
+    k.flops = flops;
+    k.parallel_items = items;
+    return k;
+}
+
+TEST(ProfilerTest, RangesNestAndTotal)
+{
+    sim::Runtime rt = MakeRuntime();
+    Profiler prof(rt);
+    {
+        ProfileScope outer(prof, "outer");
+        rt.RunHostFor("a", 10.0);
+        {
+            ProfileScope inner(prof, "inner");
+            rt.RunHostFor("b", 5.0);
+        }
+    }
+    ASSERT_EQ(prof.Ranges().size(), 2u);
+    // Inner closes first.
+    EXPECT_EQ(prof.Ranges()[0].name, "inner");
+    EXPECT_DOUBLE_EQ(prof.Ranges()[0].Duration(), 5.0);
+    EXPECT_EQ(prof.Ranges()[0].depth, 1);
+    EXPECT_EQ(prof.Ranges()[1].name, "outer");
+    EXPECT_DOUBLE_EQ(prof.Ranges()[1].Duration(), 15.0);
+    EXPECT_EQ(prof.Ranges()[1].depth, 0);
+
+    const auto totals = prof.RangeTotals();
+    EXPECT_DOUBLE_EQ(totals.at("outer"), 15.0);
+    EXPECT_EQ(prof.OpenDepth(), 0);
+}
+
+TEST(ProfilerTest, EndWithoutBeginThrows)
+{
+    sim::Runtime rt = MakeRuntime();
+    Profiler prof(rt);
+    EXPECT_THROW(prof.End(), Error);
+    prof.Begin("open");
+    EXPECT_THROW(prof.Clear(), Error);
+    prof.End();
+    prof.Clear();
+    EXPECT_TRUE(prof.Ranges().empty());
+}
+
+TEST(BreakdownTest, SharesSumToHundred)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.ResetMeasurementWindow();
+    {
+        sim::CategoryScope s(rt, "GNN");
+        rt.RunHostFor("x", 60.0);
+    }
+    {
+        sim::CategoryScope s(rt, "RNN");
+        rt.RunHostFor("y", 40.0);
+    }
+    const Breakdown b = Breakdown::FromRuntime(rt);
+    double total = 0.0;
+    for (const auto& e : b.Entries()) {
+        total += e.share_pct;
+    }
+    EXPECT_NEAR(total, 100.0, 1e-9);
+    EXPECT_NEAR(b.SharePct("GNN"), 60.0, 1e-9);
+    EXPECT_NEAR(b.TimeUs("RNN"), 40.0, 1e-9);
+    EXPECT_DOUBLE_EQ(b.SharePct("absent"), 0.0);
+    EXPECT_EQ(b.Categories().front(), "GNN");  // sorted by share
+}
+
+TEST(BreakdownTest, FoldsSmallCategories)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.ResetMeasurementWindow();
+    {
+        sim::CategoryScope s(rt, "big");
+        rt.RunHostFor("x", 99.5);
+    }
+    {
+        sim::CategoryScope s(rt, "tiny");
+        rt.RunHostFor("y", 0.5);
+    }
+    const Breakdown folded = Breakdown::FromRuntime(rt, true, 1.0);
+    EXPECT_DOUBLE_EQ(folded.SharePct("tiny"), 0.0);
+    EXPECT_GT(folded.SharePct("Others"), 0.0);
+}
+
+TEST(TraceAnalysisTest, UtilizationTimelineCoverage)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.Launch(Kernel());
+    rt.Synchronize();
+    const std::string gpu = rt.Gpu().Name();
+    const auto timeline =
+        UtilizationTimeline(rt.GetTrace(), gpu, 0.0, rt.Now(), rt.Now() / 4.0);
+    ASSERT_GE(timeline.size(), 4u);
+    double max_util = 0.0;
+    for (const auto& s : timeline) {
+        EXPECT_GE(s.utilization_pct, 0.0);
+        EXPECT_LE(s.utilization_pct, 100.0);
+        max_util = std::max(max_util, s.utilization_pct);
+    }
+    EXPECT_GT(max_util, 0.0);
+    EXPECT_THROW(UtilizationTimeline(rt.GetTrace(), gpu, 0.0, 1.0, 0.0), Error);
+}
+
+TEST(TraceAnalysisTest, BusyAndTransferQueries)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.Launch(Kernel());
+    rt.CopyToDevice(1 << 20, "in");
+    rt.CopyToHost(1 << 10, "out");
+    rt.Synchronize();
+    const std::string gpu = rt.Gpu().Name();
+    EXPECT_GT(DeviceBusyTime(rt.GetTrace(), gpu, 0.0, rt.Now()), 0.0);
+    EXPECT_EQ(TransferredBytes(rt.GetTrace(), sim::CopyDirection::kHostToDevice, 0.0,
+                               rt.Now()),
+              1 << 20);
+    EXPECT_EQ(TransferredBytes(rt.GetTrace(), sim::CopyDirection::kDeviceToHost, 0.0,
+                               rt.Now()),
+              1 << 10);
+    EXPECT_GT(TransferBusyTime(rt.GetTrace(), 0.0, rt.Now()), 0.0);
+    EXPECT_EQ(KernelCount(rt.GetTrace(), gpu, 0.0, rt.Now()), 1);
+    EXPECT_GT(MeanKernelOccupancy(rt.GetTrace(), gpu, 0.0, rt.Now()), 0.0);
+}
+
+TEST(TraceAnalysisTest, ChromeTraceJsonWellFormed)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.Launch(Kernel());
+    rt.Synchronize();
+    const std::string json = ToChromeTraceJson(rt.GetTrace());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(BottleneckTest, TemporalDependencySeverityForTinyKernels)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.ResetMeasurementWindow();
+    for (int i = 0; i < 20; ++i) {
+        rt.Launch(Kernel(1000, 1));
+        rt.Synchronize();
+        rt.RunHostFor("gap", 500.0);  // long CPU gaps -> low utilization
+    }
+    const TemporalDependencyReport r = AnalyzeTemporalDependency(rt);
+    EXPECT_LT(r.compute_utilization_pct, 20.0);
+    EXPECT_EQ(r.kernel_count, 20);
+    EXPECT_GT(r.launch_overhead_share_pct, 0.0);
+    EXPECT_NE(r.severity, Severity::kNone);
+}
+
+TEST(BottleneckTest, WorkloadImbalanceDetectsCpuBound)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.ResetMeasurementWindow();
+    rt.RunHostFor("sampling", 10000.0);
+    rt.Launch(Kernel());
+    rt.Synchronize();
+    const WorkloadImbalanceReport r = AnalyzeWorkloadImbalance(rt);
+    EXPECT_GT(r.cpu_busy_us, r.gpu_busy_us);
+    EXPECT_GT(r.imbalance_ratio, 1.5);
+    EXPECT_NE(r.severity, Severity::kNone);
+}
+
+TEST(BottleneckTest, DataMovementShare)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.ResetMeasurementWindow();
+    rt.CopyToDevice(64 << 20, "big");
+    rt.Launch(Kernel());
+    rt.Synchronize();
+    const DataMovementReport r = AnalyzeDataMovement(rt);
+    EXPECT_EQ(r.h2d_bytes, 64 << 20);
+    EXPECT_GT(r.transfer_share_pct, 40.0);
+    EXPECT_EQ(r.severity, Severity::kSevere);
+}
+
+TEST(BottleneckTest, WarmupRatioAndReportText)
+{
+    sim::Runtime rt = MakeRuntime();
+    rt.EnsureWarm(1 << 20);
+    rt.ResetMeasurementWindow();
+    rt.Launch(Kernel());
+    rt.Synchronize();
+    const BottleneckReport report =
+        AnalyzeAll(rt, "TestModel", "bs=32", 12.0, 1000.0);
+    EXPECT_GT(report.warmup.one_time_vs_iteration, 30.0);
+    EXPECT_EQ(report.warmup.severity, Severity::kSevere);
+    const std::string text = report.ToText();
+    EXPECT_NE(text.find("TestModel"), std::string::npos);
+    EXPECT_NE(text.find("temporal data dependency"), std::string::npos);
+    EXPECT_NE(text.find("workload imbalance"), std::string::npos);
+    EXPECT_NE(text.find("data movement"), std::string::npos);
+    EXPECT_NE(text.find("GPU warm-up"), std::string::npos);
+}
+
+TEST(TableWriterTest, AlignmentAndContents)
+{
+    TableWriter t({"model", "time"});
+    t.AddRow({"TGAT", TableWriter::Num(12.345, 1)});
+    t.AddRow({"TGN", TableWriter::TimeWithShare(5.5, 49.6)});
+    const std::string s = t.ToString();
+    EXPECT_NE(s.find("| model"), std::string::npos);
+    EXPECT_NE(s.find("12.3"), std::string::npos);
+    EXPECT_NE(s.find("5.50 (50%)"), std::string::npos);
+    EXPECT_EQ(t.RowCount(), 2u);
+    EXPECT_THROW(t.AddRow({"only-one"}), Error);
+    EXPECT_THROW(TableWriter({}), Error);
+}
+
+TEST(ModelSummaryTest, TableOneContents)
+{
+    const auto& all = AllModelSummaries();
+    ASSERT_EQ(all.size(), 8u);
+    // Paper Table 1 order and properties.
+    EXPECT_EQ(all[0].name, "JODIE");
+    EXPECT_EQ(all[0].type, DgnnType::kContinuous);
+    EXPECT_TRUE(all[0].evolving_weights);
+    EXPECT_FALSE(all[0].evolving_topology);
+
+    const ModelSummary& egcn = FindModelSummary("EvolveGCN");
+    EXPECT_EQ(egcn.type, DgnnType::kDiscrete);
+    EXPECT_TRUE(egcn.evolving_topology);
+    EXPECT_EQ(egcn.time_encoding, "RNN");
+
+    const ModelSummary& ldg = FindModelSummary("LDG");
+    EXPECT_TRUE(ldg.evolving_weights);
+
+    EXPECT_THROW(FindModelSummary("NotAModel"), Error);
+    EXPECT_STREQ(ToString(DgnnType::kDiscrete), "discrete");
+}
+
+TEST(CsvWriterTest, RendersHeaderAndRows)
+{
+    CsvWriter csv({"model", "time_ms"});
+    csv.AddRow({"TGAT", "12.5"});
+    csv.AddRow({"TGN", "3.25"});
+    EXPECT_EQ(csv.ToString(), "model,time_ms\nTGAT,12.5\nTGN,3.25\n");
+    EXPECT_EQ(csv.RowCount(), 2u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialFields)
+{
+    CsvWriter csv({"a"});
+    csv.AddRow({"has,comma"});
+    csv.AddRow({"has\"quote"});
+    const std::string out = csv.ToString();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, WidthMismatchAndEmptyHeaderThrow)
+{
+    CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.AddRow({"only-one"}), Error);
+    EXPECT_THROW(CsvWriter({}), Error);
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrip)
+{
+    CsvWriter csv({"x", "y"});
+    csv.AddRow({"1", "2"});
+    const std::string path = ::testing::TempDir() + "dgnn_csv_test.csv";
+    csv.WriteFile(path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::remove(path.c_str());
+    EXPECT_THROW(csv.WriteFile("/nonexistent_dir_zz/f.csv"), Error);
+}
+
+TEST(ModelSummaryTest, ContinuousModelsCount)
+{
+    int continuous = 0;
+    for (const auto& m : AllModelSummaries()) {
+        if (m.type == DgnnType::kContinuous) {
+            ++continuous;
+        }
+    }
+    EXPECT_EQ(continuous, 5);  // JODIE, TGN, TGAT, DyRep, LDG
+}
+
+}  // namespace
+}  // namespace dgnn::core

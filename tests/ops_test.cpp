@@ -1,0 +1,289 @@
+// Unit + property tests for tensor math kernels.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace dgnn {
+namespace {
+
+Tensor
+Mat(std::vector<float> v, int64_t rows, int64_t cols)
+{
+    return Tensor(Shape({rows, cols}), std::move(v));
+}
+
+TEST(MatMulTest, HandComputed2x2)
+{
+    const Tensor a = Mat({1, 2, 3, 4}, 2, 2);
+    const Tensor b = Mat({5, 6, 7, 8}, 2, 2);
+    const Tensor c = ops::MatMul(a, b);
+    EXPECT_FLOAT_EQ(c.At(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.At(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.At(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.At(1, 1), 50.0f);
+}
+
+TEST(MatMulTest, RectangularShapes)
+{
+    const Tensor a(Shape({2, 3}), 1.0f);
+    const Tensor b(Shape({3, 4}), 2.0f);
+    const Tensor c = ops::MatMul(a, b);
+    EXPECT_EQ(c.GetShape(), Shape({2, 4}));
+    EXPECT_FLOAT_EQ(c.At(0, 0), 6.0f);
+}
+
+TEST(MatMulTest, IdentityIsNeutral)
+{
+    Rng rng(1);
+    const Tensor a = init::Normal(Shape({5, 5}), rng);
+    const Tensor c = ops::MatMul(a, Tensor::Eye(5));
+    for (int64_t i = 0; i < a.NumElements(); ++i) {
+        EXPECT_FLOAT_EQ(c.At(i), a.At(i));
+    }
+}
+
+TEST(MatMulTest, DimensionMismatchThrows)
+{
+    const Tensor a(Shape({2, 3}));
+    const Tensor b(Shape({4, 2}));
+    EXPECT_THROW(ops::MatMul(a, b), Error);
+}
+
+TEST(MatMulTest, TransposedMatchesExplicitTranspose)
+{
+    Rng rng(2);
+    const Tensor a = init::Normal(Shape({4, 6}), rng);
+    const Tensor b = init::Normal(Shape({5, 6}), rng);
+    const Tensor direct = ops::MatMulTransposed(a, b);
+    const Tensor via_t = ops::MatMul(a, ops::Transpose(b));
+    ASSERT_EQ(direct.GetShape(), via_t.GetShape());
+    for (int64_t i = 0; i < direct.NumElements(); ++i) {
+        EXPECT_NEAR(direct.At(i), via_t.At(i), 1e-4f);
+    }
+}
+
+TEST(LinearForwardTest, MatchesManualAffine)
+{
+    const Tensor x = Mat({1, 2}, 1, 2);
+    const Tensor w = Mat({3, 4, 5, 6}, 2, 2);  // [out=2, in=2]
+    const Tensor b = Tensor::FromVector({0.5f, -0.5f});
+    const Tensor y = ops::LinearForward(x, w, b);
+    EXPECT_FLOAT_EQ(y.At(0, 0), 1 * 3 + 2 * 4 + 0.5f);
+    EXPECT_FLOAT_EQ(y.At(0, 1), 1 * 5 + 2 * 6 - 0.5f);
+}
+
+TEST(LinearForwardTest, EmptyBiasSkipsAdd)
+{
+    const Tensor x = Mat({1, 1}, 1, 2);
+    const Tensor w = Mat({1, 1}, 1, 2);
+    const Tensor y = ops::LinearForward(x, w, Tensor());
+    EXPECT_FLOAT_EQ(y.At(0, 0), 2.0f);
+}
+
+TEST(ElementwiseTest, AddSubMul)
+{
+    const Tensor a = Tensor::FromVector({1, 2, 3});
+    const Tensor b = Tensor::FromVector({4, 5, 6});
+    EXPECT_FLOAT_EQ(ops::Add(a, b).At(1), 7.0f);
+    EXPECT_FLOAT_EQ(ops::Sub(a, b).At(1), -3.0f);
+    EXPECT_FLOAT_EQ(ops::Mul(a, b).At(1), 10.0f);
+    EXPECT_THROW(ops::Add(a, Tensor(Shape({2}))), Error);
+}
+
+TEST(ElementwiseTest, AddRowBroadcast)
+{
+    const Tensor m(Shape({2, 3}), 1.0f);
+    const Tensor r = Tensor::FromVector({1, 2, 3});
+    const Tensor y = ops::AddRowBroadcast(m, r);
+    EXPECT_FLOAT_EQ(y.At(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(y.At(1, 2), 4.0f);
+    EXPECT_THROW(ops::AddRowBroadcast(m, Tensor(Shape({2}))), Error);
+}
+
+TEST(ActivationTest, ReluClamps)
+{
+    const Tensor y = ops::Relu(Tensor::FromVector({-1.0f, 0.0f, 2.0f}));
+    EXPECT_FLOAT_EQ(y.At(0), 0.0f);
+    EXPECT_FLOAT_EQ(y.At(1), 0.0f);
+    EXPECT_FLOAT_EQ(y.At(2), 2.0f);
+}
+
+TEST(ActivationTest, SigmoidRangeAndMidpoint)
+{
+    const Tensor y = ops::Sigmoid(Tensor::FromVector({0.0f, 10.0f, -10.0f}));
+    EXPECT_FLOAT_EQ(y.At(0), 0.5f);
+    EXPECT_GT(y.At(1), 0.99f);
+    EXPECT_LT(y.At(2), 0.01f);
+}
+
+TEST(ActivationTest, TanhOddSymmetry)
+{
+    const Tensor y = ops::Tanh(Tensor::FromVector({1.5f, -1.5f}));
+    EXPECT_NEAR(y.At(0), -y.At(1), 1e-6f);
+}
+
+TEST(ActivationTest, GeluApproximation)
+{
+    const Tensor y = ops::Gelu(Tensor::FromVector({0.0f, 3.0f, -3.0f}));
+    EXPECT_FLOAT_EQ(y.At(0), 0.0f);
+    EXPECT_NEAR(y.At(1), 3.0f, 0.02f);   // ~identity for large positive
+    EXPECT_NEAR(y.At(2), 0.0f, 0.02f);   // ~zero for large negative
+}
+
+TEST(SoftmaxTest, RowsSumToOne)
+{
+    Rng rng(3);
+    const Tensor x = init::Normal(Shape({6, 9}), rng, 3.0f);
+    const Tensor y = ops::SoftmaxRows(x);
+    for (int64_t i = 0; i < 6; ++i) {
+        double row_sum = 0.0;
+        for (int64_t j = 0; j < 9; ++j) {
+            EXPECT_GE(y.At(i, j), 0.0f);
+            row_sum += y.At(i, j);
+        }
+        EXPECT_NEAR(row_sum, 1.0, 1e-5);
+    }
+}
+
+TEST(SoftmaxTest, StableForLargeInputs)
+{
+    const Tensor x = Mat({1000.0f, 1001.0f}, 1, 2);
+    const Tensor y = ops::SoftmaxRows(x);
+    EXPECT_TRUE(y.AllFinite());
+    EXPECT_GT(y.At(0, 1), y.At(0, 0));
+}
+
+TEST(ConcatTest, ColsAndRows)
+{
+    const Tensor a(Shape({2, 2}), 1.0f);
+    const Tensor b(Shape({2, 3}), 2.0f);
+    const Tensor c = ops::ConcatCols(a, b);
+    EXPECT_EQ(c.GetShape(), Shape({2, 5}));
+    EXPECT_FLOAT_EQ(c.At(0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(c.At(0, 2), 2.0f);
+
+    const Tensor d(Shape({3, 2}), 3.0f);
+    const Tensor e = ops::ConcatRows(a, d);
+    EXPECT_EQ(e.GetShape(), Shape({5, 2}));
+    EXPECT_FLOAT_EQ(e.At(4, 0), 3.0f);
+
+    EXPECT_THROW(ops::ConcatCols(a, d), Error);
+    EXPECT_THROW(ops::ConcatRows(a, b), Error);
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity)
+{
+    Rng rng(4);
+    const Tensor a = init::Normal(Shape({3, 7}), rng);
+    const Tensor tt = ops::Transpose(ops::Transpose(a));
+    for (int64_t i = 0; i < a.NumElements(); ++i) {
+        EXPECT_FLOAT_EQ(tt.At(i), a.At(i));
+    }
+}
+
+TEST(ReductionTest, RowNormsAndMeans)
+{
+    const Tensor a = Mat({3, 4, 0, 0}, 2, 2);
+    const Tensor norms = ops::RowNorms(a);
+    EXPECT_FLOAT_EQ(norms.At(0), 5.0f);
+    EXPECT_FLOAT_EQ(norms.At(1), 0.0f);
+
+    const Tensor mean = ops::MeanRows(a);
+    EXPECT_FLOAT_EQ(mean.At(0), 1.5f);
+    EXPECT_FLOAT_EQ(mean.At(1), 2.0f);
+
+    const Tensor sum = ops::SumRows(a);
+    EXPECT_FLOAT_EQ(sum.At(0), 3.0f);
+    EXPECT_FLOAT_EQ(sum.At(1), 4.0f);
+}
+
+TEST(GatherScatterTest, RoundTrip)
+{
+    Rng rng(5);
+    Tensor table = init::Normal(Shape({10, 3}), rng);
+    const std::vector<int64_t> idx = {7, 2, 2, 9};
+    const Tensor rows = ops::GatherRows(table, idx);
+    EXPECT_EQ(rows.GetShape(), Shape({4, 3}));
+    EXPECT_FLOAT_EQ(rows.At(0, 0), table.At(7, 0));
+    EXPECT_FLOAT_EQ(rows.At(2, 1), table.At(2, 1));
+
+    Tensor modified = rows;
+    modified.Fill(1.0f);
+    ops::ScatterRows(table, idx, modified);
+    EXPECT_FLOAT_EQ(table.At(7, 0), 1.0f);
+    EXPECT_FLOAT_EQ(table.At(9, 2), 1.0f);
+}
+
+TEST(GatherScatterTest, OutOfRangeThrows)
+{
+    Tensor table(Shape({3, 2}));
+    EXPECT_THROW(ops::GatherRows(table, {3}), Error);
+    EXPECT_THROW(ops::GatherRows(table, {-1}), Error);
+    Tensor rows(Shape({1, 2}));
+    EXPECT_THROW(ops::ScatterRows(table, {5}, rows), Error);
+    EXPECT_THROW(ops::ScatterRows(table, {0, 1}, rows), Error);
+}
+
+TEST(DotTest, Orthogonal)
+{
+    EXPECT_DOUBLE_EQ(
+        ops::Dot(Tensor::FromVector({1, 0}), Tensor::FromVector({0, 1})), 0.0);
+    EXPECT_DOUBLE_EQ(
+        ops::Dot(Tensor::FromVector({1, 2}), Tensor::FromVector({3, 4})), 11.0);
+    EXPECT_THROW(
+        ops::Dot(Tensor::FromVector({1}), Tensor::FromVector({1, 2})), Error);
+}
+
+TEST(FlopsTest, MatMulFlopsFormula)
+{
+    EXPECT_EQ(ops::MatMulFlops(2, 3, 4), 2 * 2 * 3 * 4);
+    EXPECT_EQ(ops::ElementwiseFlops(Tensor(Shape({5, 5}))), 25);
+}
+
+/// Property sweep: associativity-style identities over random matrices.
+struct MatMulDims {
+    int64_t m;
+    int64_t k;
+    int64_t n;
+};
+
+class MatMulProperty : public ::testing::TestWithParam<MatMulDims> {};
+
+TEST_P(MatMulProperty, DistributesOverAddition)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(42);
+    const Tensor a = init::Normal(Shape({m, k}), rng);
+    const Tensor b = init::Normal(Shape({k, n}), rng);
+    const Tensor c = init::Normal(Shape({k, n}), rng);
+    const Tensor lhs = ops::MatMul(a, ops::Add(b, c));
+    const Tensor rhs = ops::Add(ops::MatMul(a, b), ops::MatMul(a, c));
+    for (int64_t i = 0; i < lhs.NumElements(); ++i) {
+        EXPECT_NEAR(lhs.At(i), rhs.At(i), 1e-3f);
+    }
+}
+
+TEST_P(MatMulProperty, TransposeReversesOrder)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(43);
+    const Tensor a = init::Normal(Shape({m, k}), rng);
+    const Tensor b = init::Normal(Shape({k, n}), rng);
+    const Tensor lhs = ops::Transpose(ops::MatMul(a, b));
+    const Tensor rhs = ops::MatMul(ops::Transpose(b), ops::Transpose(a));
+    for (int64_t i = 0; i < lhs.NumElements(); ++i) {
+        EXPECT_NEAR(lhs.At(i), rhs.At(i), 1e-3f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MatMulProperty,
+                         ::testing::Values(MatMulDims{1, 1, 1}, MatMulDims{2, 3, 4},
+                                           MatMulDims{5, 1, 5}, MatMulDims{7, 8, 3},
+                                           MatMulDims{16, 16, 16}));
+
+}  // namespace
+}  // namespace dgnn

@@ -1,0 +1,161 @@
+// Tests for the deterministic RNG and tensor initializers.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+
+namespace dgnn {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.Uniform(), b.Uniform());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (a.Uniform() == b.Uniform()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRespectsRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.Uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(RngTest, UniformIntInclusive)
+{
+    Rng rng(8);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.UniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_THROW(rng.UniformInt(3, 2), Error);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.Normal(1.0f, 2.0f);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ExponentialPositiveWithMean)
+{
+    Rng rng(10);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.Exponential(2.0);
+        EXPECT_GT(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.05);
+    EXPECT_THROW(rng.Exponential(0.0), Error);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(11);
+    int heads = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        heads += rng.Bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng a(12);
+    Rng child = a.Fork();
+    // Forked generator should not mirror the parent.
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (a.Uniform() == child.Uniform()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(InitTest, UniformTensorWithinBounds)
+{
+    Rng rng(13);
+    const Tensor t = init::Uniform(Shape({20, 20}), rng, -0.5f, 0.5f);
+    EXPECT_GE(t.NumElements(), 1);
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        EXPECT_GE(t.At(i), -0.5f);
+        EXPECT_LT(t.At(i), 0.5f);
+    }
+}
+
+TEST(InitTest, NormalTensorFiniteWithSpread)
+{
+    Rng rng(14);
+    const Tensor t = init::Normal(Shape({50, 10}), rng, 0.2f);
+    EXPECT_TRUE(t.AllFinite());
+    EXPECT_GT(t.AbsMax(), 0.0f);
+    EXPECT_LT(std::fabs(t.Mean()), 0.05);
+}
+
+TEST(InitTest, XavierBound)
+{
+    Rng rng(15);
+    const int64_t fan_out = 30;
+    const int64_t fan_in = 20;
+    const Tensor w = init::XavierUniform(fan_out, fan_in, rng);
+    EXPECT_EQ(w.GetShape(), Shape({fan_out, fan_in}));
+    const float bound = std::sqrt(6.0f / (fan_in + fan_out));
+    EXPECT_LE(w.AbsMax(), bound);
+    EXPECT_THROW(init::XavierUniform(0, 5, rng), Error);
+}
+
+TEST(InitTest, DeterministicAcrossRuns)
+{
+    Rng a(99);
+    Rng b(99);
+    const Tensor ta = init::Normal(Shape({8, 8}), a);
+    const Tensor tb = init::Normal(Shape({8, 8}), b);
+    for (int64_t i = 0; i < ta.NumElements(); ++i) {
+        EXPECT_EQ(ta.At(i), tb.At(i));
+    }
+}
+
+}  // namespace
+}  // namespace dgnn

@@ -1,0 +1,336 @@
+// Tests for the simulated runtime: clock semantics, async kernels, copies,
+// synchronization, category accounting, measurement windows.
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include "sim/runtime.hpp"
+
+namespace dgnn::sim {
+namespace {
+
+RuntimeConfig
+HybridConfig()
+{
+    RuntimeConfig c;
+    c.mode = ExecMode::kHybrid;
+    return c;
+}
+
+RuntimeConfig
+CpuConfig()
+{
+    RuntimeConfig c;
+    c.mode = ExecMode::kCpuOnly;
+    return c;
+}
+
+KernelDesc
+SmallKernel()
+{
+    KernelDesc k;
+    k.name = "k";
+    k.flops = 1000000;
+    k.bytes = 1000;
+    k.parallel_items = 1000;
+    return k;
+}
+
+TEST(RuntimeTest, StartsAtTimeZero)
+{
+    Runtime rt(HybridConfig());
+    EXPECT_DOUBLE_EQ(rt.Now(), 0.0);
+    EXPECT_TRUE(rt.HasGpu());
+    Runtime cpu_rt(CpuConfig());
+    EXPECT_FALSE(cpu_rt.HasGpu());
+    EXPECT_THROW(cpu_rt.Gpu(), Error);
+}
+
+TEST(RuntimeTest, HostOpAdvancesClock)
+{
+    Runtime rt(HybridConfig());
+    const SimTime end = rt.RunHost(SmallKernel());
+    EXPECT_GT(end, 0.0);
+    EXPECT_DOUBLE_EQ(rt.Now(), end);
+    EXPECT_GT(rt.Cpu().BusyTime(), 0.0);
+}
+
+TEST(RuntimeTest, RunHostForExactDuration)
+{
+    Runtime rt(HybridConfig());
+    rt.RunHostFor("load", 42.0);
+    EXPECT_DOUBLE_EQ(rt.Now(), 42.0);
+    EXPECT_THROW(rt.RunHostFor("bad", -1.0), Error);
+}
+
+TEST(RuntimeTest, GpuKernelIsAsynchronous)
+{
+    Runtime rt(HybridConfig());
+    const SimTime completion = rt.Launch(SmallKernel());
+    // Host only paid the submit cost; the kernel finishes later.
+    EXPECT_LT(rt.Now(), completion);
+    const SimTime synced = rt.Synchronize();
+    EXPECT_DOUBLE_EQ(synced, completion);
+    EXPECT_DOUBLE_EQ(rt.Now(), completion);
+    EXPECT_GT(rt.SyncWaitTime(), 0.0);
+}
+
+TEST(RuntimeTest, CpuOnlyKernelIsSynchronous)
+{
+    Runtime rt(CpuConfig());
+    const SimTime completion = rt.Launch(SmallKernel());
+    EXPECT_DOUBLE_EQ(rt.Now(), completion);
+    // Synchronize is a no-op without a GPU.
+    EXPECT_DOUBLE_EQ(rt.Synchronize(), completion);
+    EXPECT_DOUBLE_EQ(rt.SyncWaitTime(), 0.0);
+}
+
+TEST(RuntimeTest, KernelsSerializeOnStream)
+{
+    Runtime rt(HybridConfig());
+    const SimTime first = rt.Launch(SmallKernel());
+    const SimTime second = rt.Launch(SmallKernel());
+    EXPECT_GT(second, first);
+}
+
+TEST(RuntimeTest, CopiesBlockHostAndCount)
+{
+    Runtime rt(HybridConfig());
+    const SimTime t0 = rt.Now();
+    rt.CopyToDevice(1 << 20, "h2d");
+    EXPECT_GT(rt.Now(), t0);
+    EXPECT_EQ(rt.BytesToDevice(), 1 << 20);
+    rt.CopyToHost(1 << 10, "d2h");
+    EXPECT_EQ(rt.BytesToHost(), 1 << 10);
+    EXPECT_EQ(rt.TransferCount(), 2);
+    EXPECT_GT(rt.TransferTime(), 0.0);
+}
+
+TEST(RuntimeTest, CopiesAreNoOpsInCpuMode)
+{
+    Runtime rt(CpuConfig());
+    rt.CopyToDevice(1 << 20, "h2d");
+    rt.CopyToHost(1 << 20, "d2h");
+    EXPECT_DOUBLE_EQ(rt.Now(), 0.0);
+    EXPECT_EQ(rt.BytesToDevice(), 0);
+    EXPECT_EQ(rt.TransferCount(), 0);
+}
+
+TEST(RuntimeTest, CopyToHostWaitsForKernels)
+{
+    Runtime rt(HybridConfig());
+    const SimTime kernel_done = rt.Launch(SmallKernel());
+    rt.CopyToHost(100, "result");
+    // The D2H copy cannot start before the producing kernel finished.
+    EXPECT_GT(rt.Now(), kernel_done);
+}
+
+TEST(RuntimeTest, KernelAfterCopyWaitsForData)
+{
+    Runtime rt(HybridConfig());
+    rt.CopyToDevice(10 << 20, "input");
+    const SimTime copy_done = rt.Now();
+    const SimTime kernel_done = rt.Launch(SmallKernel());
+    EXPECT_GT(kernel_done, copy_done);
+}
+
+TEST(RuntimeTest, CategoryAccountingPartitionsElapsed)
+{
+    Runtime rt(HybridConfig());
+    rt.ResetMeasurementWindow();
+    {
+        CategoryScope scope(rt, "Phase A");
+        rt.RunHostFor("a", 10.0);
+    }
+    {
+        CategoryScope scope(rt, "Phase B");
+        rt.RunHostFor("b", 30.0);
+        rt.Launch(SmallKernel());
+        rt.Synchronize();
+    }
+    const auto& cats = rt.CategoryTimes();
+    double total = 0.0;
+    for (const auto& [name, t] : cats) {
+        total += t;
+    }
+    EXPECT_NEAR(total, rt.ElapsedInWindow(), 1e-9);
+    EXPECT_DOUBLE_EQ(cats.at("Phase A"), 10.0);
+    EXPECT_GT(cats.at("Phase B"), 30.0);
+}
+
+TEST(RuntimeTest, NestedCategoriesAttributeToInnermost)
+{
+    Runtime rt(HybridConfig());
+    rt.PushCategory("outer");
+    rt.RunHostFor("x", 5.0);
+    rt.PushCategory("inner");
+    rt.RunHostFor("y", 7.0);
+    rt.PopCategory();
+    rt.RunHostFor("z", 2.0);
+    rt.PopCategory();
+    EXPECT_DOUBLE_EQ(rt.CategoryTimes().at("outer"), 7.0);
+    EXPECT_DOUBLE_EQ(rt.CategoryTimes().at("inner"), 7.0);
+    EXPECT_THROW(rt.PopCategory(), Error);
+}
+
+TEST(RuntimeTest, MeasurementWindowResets)
+{
+    Runtime rt(HybridConfig());
+    rt.RunHostFor("setup", 100.0);
+    rt.CopyToDevice(1000, "w");
+    rt.ResetMeasurementWindow();
+    EXPECT_DOUBLE_EQ(rt.ElapsedInWindow(), 0.0);
+    EXPECT_EQ(rt.BytesToDevice(), 0);
+    EXPECT_DOUBLE_EQ(rt.Cpu().BusyTime(), 0.0);
+    rt.RunHostFor("work", 50.0);
+    EXPECT_DOUBLE_EQ(rt.ElapsedInWindow(), 50.0);
+}
+
+TEST(RuntimeTest, UtilizationReflectsBusyFraction)
+{
+    Runtime rt(HybridConfig());
+    rt.ResetMeasurementWindow();
+    rt.Launch(SmallKernel());
+    rt.Synchronize();
+    rt.RunHostFor("idle_gpu", rt.ElapsedInWindow());  // double the window
+    const double util = rt.ComputeUtilizationPct();
+    EXPECT_GT(util, 0.0);
+    EXPECT_LT(util, 100.0);
+}
+
+TEST(RuntimeTest, AllocationsTrackPeaks)
+{
+    Runtime rt(HybridConfig());
+    {
+        DeviceBuffer buf = rt.AllocDevice(1 << 20, "activations");
+        EXPECT_EQ(rt.Gpu().Memory().LiveBytes(), 1 << 20);
+        DeviceBuffer host_buf = rt.AllocHost(1 << 10, "staging");
+        EXPECT_EQ(rt.Cpu().Memory().LiveBytes(), 1 << 10);
+    }
+    // RAII released both.
+    EXPECT_EQ(rt.Gpu().Memory().LiveBytes(), 0);
+    EXPECT_EQ(rt.Cpu().Memory().LiveBytes(), 0);
+    EXPECT_EQ(rt.Gpu().Memory().PeakBytes(), 1 << 20);
+}
+
+TEST(RuntimeTest, DeviceBufferMoveSemantics)
+{
+    Runtime rt(HybridConfig());
+    DeviceBuffer a = rt.AllocDevice(100, "a");
+    DeviceBuffer b = std::move(a);
+    EXPECT_FALSE(a.Valid());
+    EXPECT_TRUE(b.Valid());
+    EXPECT_EQ(b.Bytes(), 100);
+    b.Release();
+    EXPECT_FALSE(b.Valid());
+    EXPECT_EQ(rt.Gpu().Memory().LiveBytes(), 0);
+}
+
+TEST(RuntimeTest, WarmupAdvancesClockOnce)
+{
+    Runtime rt(HybridConfig());
+    EXPECT_FALSE(rt.IsWarm());
+    const OneTimeWarmup w = rt.EnsureWarm(4 << 20);
+    EXPECT_TRUE(rt.IsWarm());
+    EXPECT_GT(w.TotalUs(), 1e6);  // seconds of warm-up
+    EXPECT_DOUBLE_EQ(rt.Now(), w.TotalUs());
+    // Second call is cached and free.
+    rt.EnsureWarm(4 << 20);
+    EXPECT_DOUBLE_EQ(rt.Now(), w.TotalUs());
+}
+
+TEST(RuntimeTest, PerRunWarmupScalesWithBytes)
+{
+    Runtime rt(HybridConfig());
+    const PerRunWarmup small = rt.RunAllocWarmup(1 << 20);
+    const PerRunWarmup big = rt.RunAllocWarmup(256 << 20);
+    EXPECT_GT(big.alloc_us, small.alloc_us);
+}
+
+TEST(RuntimeTest, TraceRecordsAllEventKinds)
+{
+    Runtime rt(HybridConfig());
+    rt.RunHostFor("host", 1.0);
+    rt.Launch(SmallKernel());
+    rt.CopyToDevice(100, "h2d");
+    rt.Synchronize();
+    rt.Marker("done");
+    bool saw_host = false;
+    bool saw_kernel = false;
+    bool saw_transfer = false;
+    bool saw_marker = false;
+    for (const TraceEvent& e : rt.GetTrace().Events()) {
+        saw_host |= e.kind == EventKind::kHostOp;
+        saw_kernel |= e.kind == EventKind::kKernel;
+        saw_transfer |= e.kind == EventKind::kTransfer;
+        saw_marker |= e.kind == EventKind::kMarker;
+    }
+    EXPECT_TRUE(saw_host);
+    EXPECT_TRUE(saw_kernel);
+    EXPECT_TRUE(saw_transfer);
+    EXPECT_TRUE(saw_marker);
+}
+
+TEST(RuntimeTest, TraceTimestampsAreOrderedPerDevice)
+{
+    Runtime rt(HybridConfig());
+    for (int i = 0; i < 5; ++i) {
+        rt.Launch(SmallKernel());
+    }
+    rt.Synchronize();
+    SimTime prev_end = 0.0;
+    for (const TraceEvent& e : rt.GetTrace().Events()) {
+        if (e.kind == EventKind::kKernel) {
+            EXPECT_GE(e.start_us, prev_end);
+            prev_end = e.end_us;
+        }
+        EXPECT_GE(e.end_us, e.start_us);
+    }
+}
+
+TEST(RuntimeTest, GpuSlowerForTinySerializedKernels)
+{
+    // The DyRep/LDG phenomenon: tiny kernels + per-op sync make the GPU
+    // path slower than the CPU path.
+    KernelDesc tiny;
+    tiny.name = "tiny";
+    tiny.flops = 10000;
+    tiny.bytes = 1000;
+    tiny.parallel_items = 32;
+
+    Runtime gpu(HybridConfig());
+    gpu.ResetMeasurementWindow();
+    for (int i = 0; i < 100; ++i) {
+        gpu.Launch(tiny);
+        gpu.Synchronize();
+    }
+    Runtime cpu(CpuConfig());
+    cpu.ResetMeasurementWindow();
+    for (int i = 0; i < 100; ++i) {
+        cpu.Launch(tiny);
+        cpu.Synchronize();
+    }
+    EXPECT_GT(gpu.ElapsedInWindow(), cpu.ElapsedInWindow());
+}
+
+TEST(RuntimeTest, GpuFasterForLargeParallelKernels)
+{
+    KernelDesc big;
+    big.name = "big";
+    big.flops = 2000000000;
+    big.bytes = 1 << 20;
+    big.parallel_items = 1000000;
+
+    Runtime gpu(HybridConfig());
+    gpu.ResetMeasurementWindow();
+    gpu.Launch(big);
+    gpu.Synchronize();
+    Runtime cpu(CpuConfig());
+    cpu.ResetMeasurementWindow();
+    cpu.Launch(big);
+    EXPECT_LT(gpu.ElapsedInWindow(), cpu.ElapsedInWindow());
+}
+
+}  // namespace
+}  // namespace dgnn::sim

@@ -1,0 +1,170 @@
+// Tests for temporal neighborhood sampling — the invariant that sampled
+// neighbors strictly precede the query time is load-bearing for every CTDG
+// model.
+
+#include <gtest/gtest.h>
+
+#include "data/temporal_interactions.hpp"
+#include "graph/temporal_sampler.hpp"
+
+namespace dgnn::graph {
+namespace {
+
+EventStream
+MakeStream()
+{
+    std::vector<TemporalEvent> events;
+    for (int i = 0; i < 20; ++i) {
+        events.push_back({0, 1 + (i % 3), static_cast<double>(i + 1), i});
+    }
+    return EventStream(4, std::move(events));
+}
+
+TEST(SamplerTest, NeighborsStrictlyBeforeQueryTime)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kUniform, 1);
+    const SampledNeighborhood nbh = sampler.Sample(0, 10.5, 5);
+    for (size_t j = 0; j < nbh.neighbors.size(); ++j) {
+        if (nbh.neighbors[j] >= 0) {
+            EXPECT_LT(nbh.times[j], 10.5);
+        }
+    }
+}
+
+TEST(SamplerTest, NoHistoryYieldsPadding)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kMostRecent, 1);
+    const SampledNeighborhood nbh = sampler.Sample(0, 0.5, 4);
+    for (int64_t nb : nbh.neighbors) {
+        EXPECT_EQ(nb, -1);
+    }
+}
+
+TEST(SamplerTest, MostRecentPicksLatest)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kMostRecent, 1);
+    const SampledNeighborhood nbh = sampler.Sample(0, 100.0, 3);
+    // Latest three interactions of node 0 happen at t = 18, 19, 20.
+    EXPECT_DOUBLE_EQ(nbh.times[0], 18.0);
+    EXPECT_DOUBLE_EQ(nbh.times[1], 19.0);
+    EXPECT_DOUBLE_EQ(nbh.times[2], 20.0);
+}
+
+TEST(SamplerTest, PaddingAtFrontWhenHistoryShort)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kMostRecent, 1);
+    // Only 2 interactions before t = 2.5, ask for 4.
+    const SampledNeighborhood nbh = sampler.Sample(0, 2.5, 4);
+    EXPECT_EQ(nbh.neighbors[0], -1);
+    EXPECT_EQ(nbh.neighbors[1], -1);
+    EXPECT_GE(nbh.neighbors[2], 0);
+    EXPECT_GE(nbh.neighbors[3], 0);
+}
+
+TEST(SamplerTest, UniformSamplesAreTimeOrdered)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kUniform, 7);
+    const SampledNeighborhood nbh = sampler.Sample(0, 15.0, 6);
+    double prev = -1.0;
+    for (size_t j = 0; j < nbh.times.size(); ++j) {
+        if (nbh.neighbors[j] >= 0) {
+            EXPECT_GE(nbh.times[j], prev);
+            prev = nbh.times[j];
+        }
+    }
+}
+
+TEST(SamplerTest, DeterministicWithSeed)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler s1(adj, SamplingStrategy::kUniform, 99);
+    TemporalNeighborSampler s2(adj, SamplingStrategy::kUniform, 99);
+    const SampledNeighborhood a = s1.Sample(0, 18.0, 5);
+    const SampledNeighborhood b = s2.Sample(0, 18.0, 5);
+    EXPECT_EQ(a.neighbors, b.neighbors);
+    EXPECT_EQ(a.times, b.times);
+}
+
+TEST(SamplerTest, CostAccumulatesAndResets)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kUniform, 1);
+    sampler.Sample(0, 15.0, 5);
+    sampler.Sample(0, 15.0, 5);
+    const SamplingCost c = sampler.TakeCost();
+    EXPECT_GT(c.bisection_probes, 0);
+    EXPECT_GT(c.gathered_bytes, 0);
+    const SamplingCost after = sampler.TakeCost();
+    EXPECT_EQ(after.bisection_probes, 0);
+    EXPECT_EQ(after.gathered_bytes, 0);
+}
+
+TEST(SamplerTest, BatchMatchesSizes)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kMostRecent, 1);
+    const auto batch = sampler.SampleBatch({0, 1, 2}, {5.0, 5.0, 5.0}, 3);
+    EXPECT_EQ(batch.size(), 3u);
+    for (const auto& nbh : batch) {
+        EXPECT_EQ(nbh.neighbors.size(), 3u);
+    }
+    EXPECT_THROW(sampler.SampleBatch({0}, {1.0, 2.0}, 3), Error);
+    EXPECT_THROW(sampler.Sample(0, 1.0, 0), Error);
+}
+
+/// Property sweep over k and time: every sampled neighbor is a true
+/// historical interaction partner at the recorded time.
+class SamplerProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, double>> {};
+
+TEST_P(SamplerProperty, SamplesComeFromRealHistory)
+{
+    const auto [k, t] = GetParam();
+    const data::InteractionDataset ds =
+        data::GenerateInteractions(data::InteractionSpec{
+            "prop", 50, 20, 500, 4, 1.1, 0.5, 1.0, 77});
+    TemporalAdjacency adj(ds.stream);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kUniform, 5);
+
+    for (int64_t node = 0; node < 10; ++node) {
+        const SampledNeighborhood nbh = sampler.Sample(node, t, k);
+        const auto history = adj.History(node);
+        for (size_t j = 0; j < nbh.neighbors.size(); ++j) {
+            if (nbh.neighbors[j] < 0) {
+                continue;
+            }
+            bool found = false;
+            for (const auto& entry : history) {
+                if (entry.neighbor == nbh.neighbors[j] &&
+                    entry.time == nbh.times[j]) {
+                    found = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(found) << "node " << node << " neighbor "
+                               << nbh.neighbors[j] << " not in history";
+            EXPECT_LT(nbh.times[j], t);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplerProperty,
+    ::testing::Combine(::testing::Values<int64_t>(1, 3, 10, 50),
+                       ::testing::Values(10.0, 100.0, 400.0)));
+
+}  // namespace
+}  // namespace dgnn::graph

@@ -1,0 +1,116 @@
+// Tests for JODIE's t-batch construction.
+
+#include <gtest/gtest.h>
+
+#include "data/temporal_interactions.hpp"
+#include "graph/tbatch.hpp"
+
+namespace dgnn::graph {
+namespace {
+
+TEST(TBatchTest, IndependentEventsShareOneBatch)
+{
+    std::vector<TemporalEvent> events = {
+        {0, 1, 1.0, 0}, {2, 3, 2.0, 1}, {4, 5, 3.0, 2}};
+    EventStream s(6, std::move(events));
+    const auto batches = BuildTBatches(s, 0, 3);
+    ASSERT_EQ(batches.size(), 1u);
+    EXPECT_EQ(batches[0].event_indices.size(), 3u);
+    EXPECT_TRUE(ValidateTBatches(s, batches));
+}
+
+TEST(TBatchTest, RepeatedNodeForcesNewBatch)
+{
+    std::vector<TemporalEvent> events = {
+        {0, 1, 1.0, 0}, {0, 2, 2.0, 1}, {0, 3, 3.0, 2}};
+    EventStream s(4, std::move(events));
+    const auto batches = BuildTBatches(s, 0, 3);
+    ASSERT_EQ(batches.size(), 3u);  // node 0 repeats every event
+    EXPECT_TRUE(ValidateTBatches(s, batches));
+}
+
+TEST(TBatchTest, ChainAssignsMaxPlusOne)
+{
+    // (0,1) -> batch 0; (1,2) -> batch 1; (3,4) -> batch 0; (2,3) -> batch 2.
+    std::vector<TemporalEvent> events = {
+        {0, 1, 1.0, 0}, {1, 2, 2.0, 1}, {3, 4, 3.0, 2}, {2, 3, 4.0, 3}};
+    EventStream s(5, std::move(events));
+    const auto batches = BuildTBatches(s, 0, 4);
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[0].event_indices.size(), 2u);
+    EXPECT_EQ(batches[1].event_indices.size(), 1u);
+    EXPECT_EQ(batches[2].event_indices.size(), 1u);
+    EXPECT_TRUE(ValidateTBatches(s, batches));
+}
+
+TEST(TBatchTest, SubrangeOnly)
+{
+    std::vector<TemporalEvent> events = {
+        {0, 1, 1.0, 0}, {0, 1, 2.0, 1}, {2, 3, 3.0, 2}};
+    EventStream s(4, std::move(events));
+    const auto batches = BuildTBatches(s, 2, 3);
+    ASSERT_EQ(batches.size(), 1u);
+    EXPECT_EQ(batches[0].event_indices[0], 2);
+    EXPECT_THROW(BuildTBatches(s, 2, 5), Error);
+}
+
+TEST(TBatchTest, EmptyRange)
+{
+    EventStream s(2, {});
+    const auto batches = BuildTBatches(s, 0, 0);
+    EXPECT_TRUE(batches.empty());
+    EXPECT_TRUE(ValidateTBatches(s, batches));
+}
+
+TEST(TBatchTest, ValidatorCatchesDuplicateNode)
+{
+    std::vector<TemporalEvent> events = {{0, 1, 1.0, 0}, {0, 2, 2.0, 1}};
+    EventStream s(3, std::move(events));
+    std::vector<TBatch> bad(1);
+    bad[0].event_indices = {0, 1};  // node 0 twice in one batch
+    EXPECT_FALSE(ValidateTBatches(s, bad));
+}
+
+TEST(TBatchTest, ValidatorCatchesTimeInversion)
+{
+    std::vector<TemporalEvent> events = {{0, 1, 1.0, 0}, {0, 2, 2.0, 1}};
+    EventStream s(3, std::move(events));
+    std::vector<TBatch> bad(2);
+    bad[0].event_indices = {1};  // later event first
+    bad[1].event_indices = {0};
+    EXPECT_FALSE(ValidateTBatches(s, bad));
+}
+
+/// Property sweep: generated interaction streams always produce valid
+/// t-batches that cover every event exactly once.
+class TBatchProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TBatchProperty, ValidAndComplete)
+{
+    data::InteractionSpec spec;
+    spec.num_users = 40;
+    spec.num_items = 25;
+    spec.num_events = 600;
+    spec.edge_feature_dim = 2;
+    spec.seed = GetParam();
+    const data::InteractionDataset ds = data::GenerateInteractions(spec);
+
+    const auto batches = BuildTBatches(ds.stream, 0, ds.stream.NumEvents());
+    EXPECT_TRUE(ValidateTBatches(ds.stream, batches));
+
+    int64_t covered = 0;
+    for (const TBatch& b : batches) {
+        covered += static_cast<int64_t>(b.event_indices.size());
+    }
+    EXPECT_EQ(covered, ds.stream.NumEvents());
+
+    // t-batching must produce fewer batches than events (the whole point of
+    // the algorithm is parallelism), unless a node chains every event.
+    EXPECT_LT(static_cast<int64_t>(batches.size()), ds.stream.NumEvents());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TBatchProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace dgnn::graph

@@ -1,0 +1,247 @@
+// Unit tests for the tensor substrate: Shape and Tensor semantics.
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace dgnn {
+namespace {
+
+TEST(ShapeTest, RankAndElements)
+{
+    const Shape s({3, 4});
+    EXPECT_EQ(s.Rank(), 2);
+    EXPECT_EQ(s.NumElements(), 12);
+    EXPECT_EQ(s.Dim(0), 3);
+    EXPECT_EQ(s.Dim(1), 4);
+}
+
+TEST(ShapeTest, NegativeAxisCountsFromBack)
+{
+    const Shape s({2, 5, 7});
+    EXPECT_EQ(s.Dim(-1), 7);
+    EXPECT_EQ(s.Dim(-2), 5);
+    EXPECT_EQ(s.Dim(-3), 2);
+}
+
+TEST(ShapeTest, OutOfRangeAxisThrows)
+{
+    const Shape s({2, 2});
+    EXPECT_THROW(s.Dim(2), Error);
+    EXPECT_THROW(s.Dim(-3), Error);
+}
+
+TEST(ShapeTest, ScalarShape)
+{
+    const Shape s({});
+    EXPECT_EQ(s.Rank(), 0);
+    EXPECT_EQ(s.NumElements(), 1);
+}
+
+TEST(ShapeTest, ZeroDimension)
+{
+    const Shape s({0, 5});
+    EXPECT_EQ(s.NumElements(), 0);
+}
+
+TEST(ShapeTest, NegativeDimensionThrows)
+{
+    EXPECT_THROW(Shape({-1, 2}), Error);
+}
+
+TEST(ShapeTest, TooManyDimensionsThrows)
+{
+    EXPECT_THROW(Shape({1, 2, 3, 4, 5}), Error);
+}
+
+TEST(ShapeTest, EqualityAndToString)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+    EXPECT_EQ(Shape({2, 3}).ToString(), "[2, 3]");
+}
+
+TEST(TensorTest, ZeroInitialized)
+{
+    const Tensor t(Shape({2, 3}));
+    EXPECT_EQ(t.NumElements(), 6);
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        EXPECT_EQ(t.At(i), 0.0f);
+    }
+}
+
+TEST(TensorTest, FillConstructor)
+{
+    const Tensor t(Shape({4}), 2.5f);
+    for (int64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(t.At(i), 2.5f);
+    }
+}
+
+TEST(TensorTest, ValueConstructorChecksCount)
+{
+    EXPECT_NO_THROW(Tensor(Shape({2, 2}), {1.0f, 2.0f, 3.0f, 4.0f}));
+    EXPECT_THROW(Tensor(Shape({2, 2}), {1.0f, 2.0f}), Error);
+}
+
+TEST(TensorTest, FromVector)
+{
+    const Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(t.Rank(), 1);
+    EXPECT_EQ(t.Dim(0), 3);
+    EXPECT_EQ(t.At(2), 3.0f);
+}
+
+TEST(TensorTest, Eye)
+{
+    const Tensor t = Tensor::Eye(3);
+    for (int64_t i = 0; i < 3; ++i) {
+        for (int64_t j = 0; j < 3; ++j) {
+            EXPECT_EQ(t.At(i, j), i == j ? 1.0f : 0.0f);
+        }
+    }
+}
+
+TEST(TensorTest, TwoDimAccessRowMajor)
+{
+    Tensor t(Shape({2, 3}));
+    t.At(1, 2) = 7.0f;
+    EXPECT_EQ(t.At(5), 7.0f);  // row-major flat position
+}
+
+TEST(TensorTest, ThreeDimAccess)
+{
+    Tensor t(Shape({2, 3, 4}));
+    t.At(1, 2, 3) = 9.0f;
+    EXPECT_EQ(t.At(1 * 12 + 2 * 4 + 3), 9.0f);
+}
+
+TEST(TensorTest, BoundsChecking)
+{
+    Tensor t(Shape({2, 2}));
+    EXPECT_THROW(t.At(4), Error);
+    EXPECT_THROW(t.At(2, 0), Error);
+    EXPECT_THROW(t.At(0, 2), Error);
+    EXPECT_THROW(t.At(-1), Error);
+}
+
+TEST(TensorTest, WrongRankAccessThrows)
+{
+    Tensor t(Shape({4}));
+    EXPECT_THROW(t.At(0, 0), Error);
+    EXPECT_THROW(t.At(0, 0, 0), Error);
+}
+
+TEST(TensorTest, ReshapePreservesData)
+{
+    Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+    const Tensor r = t.Reshape(Shape({2, 3}));
+    EXPECT_EQ(r.At(0, 0), 1.0f);
+    EXPECT_EQ(r.At(1, 2), 6.0f);
+}
+
+TEST(TensorTest, ReshapeWrongCountThrows)
+{
+    Tensor t(Shape({4}));
+    EXPECT_THROW(t.Reshape(Shape({5})), Error);
+}
+
+TEST(TensorTest, RowAndSetRow)
+{
+    Tensor t(Shape({3, 2}));
+    t.SetRow(1, Tensor::FromVector({5.0f, 6.0f}));
+    const Tensor r = t.Row(1);
+    EXPECT_EQ(r.At(0), 5.0f);
+    EXPECT_EQ(r.At(1), 6.0f);
+    EXPECT_EQ(t.Row(0).At(0), 0.0f);
+}
+
+TEST(TensorTest, SetRowWrongWidthThrows)
+{
+    Tensor t(Shape({3, 2}));
+    EXPECT_THROW(t.SetRow(0, Tensor::FromVector({1.0f})), Error);
+    EXPECT_THROW(t.SetRow(3, Tensor::FromVector({1.0f, 2.0f})), Error);
+}
+
+TEST(TensorTest, RowSlice)
+{
+    Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6}).Reshape(Shape({3, 2}));
+    const Tensor s = t.RowSlice(1, 3);
+    EXPECT_EQ(s.Dim(0), 2);
+    EXPECT_EQ(s.At(0, 0), 3.0f);
+    EXPECT_EQ(s.At(1, 1), 6.0f);
+    EXPECT_THROW(t.RowSlice(2, 1), Error);
+    EXPECT_THROW(t.RowSlice(0, 4), Error);
+}
+
+TEST(TensorTest, SumMeanAbsMax)
+{
+    const Tensor t = Tensor::FromVector({-3.0f, 1.0f, 2.0f});
+    EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+    EXPECT_DOUBLE_EQ(t.Mean(), 0.0);
+    EXPECT_EQ(t.AbsMax(), 3.0f);
+}
+
+TEST(TensorTest, MeanOfEmptyThrows)
+{
+    const Tensor t(Shape({0}));
+    EXPECT_THROW(t.Mean(), Error);
+}
+
+TEST(TensorTest, AllFinite)
+{
+    Tensor t = Tensor::FromVector({1.0f, 2.0f});
+    EXPECT_TRUE(t.AllFinite());
+    t.At(0) = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(t.AllFinite());
+    t.At(0) = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_FALSE(t.AllFinite());
+}
+
+TEST(TensorTest, FillOverwrites)
+{
+    Tensor t(Shape({2, 2}), 1.0f);
+    t.Fill(4.0f);
+    EXPECT_EQ(t.Sum(), 16.0);
+}
+
+TEST(TensorTest, NumBytes)
+{
+    const Tensor t(Shape({3, 5}));
+    EXPECT_EQ(t.NumBytes(), 3 * 5 * 4);
+}
+
+TEST(TensorTest, ToStringTruncates)
+{
+    const Tensor t(Shape({100}), 1.0f);
+    const std::string s = t.ToString(4);
+    EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(TensorTest, DefaultConstructedIsEmpty)
+{
+    const Tensor t;
+    EXPECT_TRUE(t.Empty());
+    EXPECT_EQ(t.NumElements(), 0);
+}
+
+/// Property sweep: reshape roundtrip preserves sum for assorted shapes.
+class TensorReshapeProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TensorReshapeProperty, ReshapeRoundTripPreservesSum)
+{
+    const int64_t n = GetParam();
+    Tensor t(Shape({n, 4}));
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        t.At(i) = static_cast<float>(i % 17) - 8.0f;
+    }
+    const double before = t.Sum();
+    const Tensor r = t.Reshape(Shape({4, n})).Reshape(Shape({n * 4}));
+    EXPECT_DOUBLE_EQ(r.Sum(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TensorReshapeProperty,
+                         ::testing::Values(1, 2, 3, 8, 17, 64, 129));
+
+}  // namespace
+}  // namespace dgnn
