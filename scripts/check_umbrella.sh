@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Verifies that the umbrella header src/dgnn.hpp lists every public header
+# under src/. The umbrella smoke test proves the listed headers compile;
+# this check proves no header is missing from the list. Registered as a
+# CTest, and cheap enough to run by hand.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+missing=0
+for header in $(find src -name '*.hpp' ! -name 'dgnn.hpp' | sort); do
+    rel=${header#src/}
+    # -x (whole line) keeps commented-out includes from counting; -F keeps
+    # '.' in filenames from acting as a regex wildcard.
+    if ! grep -qxF "#include \"$rel\"" src/dgnn.hpp; then
+        echo "MISSING from src/dgnn.hpp: $rel"
+        missing=1
+    fi
+done
+
+if [ "$missing" -ne 0 ]; then
+    echo "umbrella header is out of sync — add the headers above to src/dgnn.hpp"
+    exit 1
+fi
+echo "src/dgnn.hpp includes all $(find src -name '*.hpp' ! -name 'dgnn.hpp' | wc -l) public headers"

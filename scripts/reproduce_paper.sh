@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact: builds the tier-1 configuration, runs
+# each benchmark and example, and writes one output file per binary under
+# results/. See docs/REPRODUCING.md for how to diff against docs/expected/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+RESULTS_DIR=${RESULTS_DIR:-results}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+mkdir -p "$RESULTS_DIR"
+
+for bin in "$BUILD_DIR"/bench/bench_* "$BUILD_DIR"/examples/example_*; do
+    [ -x "$bin" ] || continue
+    name=$(basename "$bin")
+    # micro_kernels measures real wall-clock (nondeterministic, ~20 s) and
+    # has no reference output; run it only on request.
+    if [ "$name" = bench_micro_kernels ] && [ "${DGNN_RUN_MICRO:-0}" != 1 ]; then
+        echo "== $name (skipped; set DGNN_RUN_MICRO=1 to include)"
+        continue
+    fi
+    echo "== $name"
+    "$bin" > "$RESULTS_DIR/$name.txt"
+done
+
+echo
+echo "Wrote $(ls "$RESULTS_DIR" | wc -l) outputs to $RESULTS_DIR/."
+echo "Compare: for f in docs/expected/*.txt; do diff -u \"\$f\" \"$RESULTS_DIR/\$(basename \"\$f\")\"; done"

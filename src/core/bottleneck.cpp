@@ -159,8 +159,10 @@ BottleneckReport::ToText() const
 
     const DataMovementReport& dm = data_movement;
     oss << "[3] data movement             [" << ToString(dm.severity) << "]\n"
-        << "    H2D: " << dm.h2d_bytes / 1024.0 / 1024.0 << " MB, D2H: "
-        << dm.d2h_bytes / 1024.0 / 1024.0 << " MB in " << dm.transfer_count
+        << "    H2D: " << static_cast<double>(dm.h2d_bytes) / 1024.0 / 1024.0
+        << " MB, D2H: "
+        << static_cast<double>(dm.d2h_bytes) / 1024.0 / 1024.0
+        << " MB in " << dm.transfer_count
         << " transfers\n"
         << "    PCIe time: " << sim::FormatDuration(dm.transfer_time_us) << " ("
         << dm.transfer_share_pct << " % of elapsed)\n";

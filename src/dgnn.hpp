@@ -46,6 +46,7 @@
 // Profiling / bottleneck-analysis core
 #include "core/bottleneck.hpp"
 #include "core/breakdown.hpp"
+#include "core/csv_writer.hpp"
 #include "core/model_summary.hpp"
 #include "core/profiler.hpp"
 #include "core/table_writer.hpp"

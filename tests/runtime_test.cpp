@@ -30,7 +30,9 @@ KernelDesc
 SmallKernel()
 {
     KernelDesc k;
-    k.name = "k";
+    // Assign via std::string to dodge GCC 12's -Wrestrict false positive on
+    // short-literal assignment under -O2 (GCC bug 105329).
+    k.name = std::string("k");
     k.flops = 1000000;
     k.bytes = 1000;
     k.parallel_items = 1000;

@@ -1,0 +1,13 @@
+/// @file
+/// Smoke test: this translation unit includes ONLY the umbrella header.
+/// If `src/dgnn.hpp` drifts out of sync with the public headers (a header
+/// is added but not listed, or a listed header stops compiling on its own),
+/// this TU fails to build and CI catches it.
+
+#include "dgnn.hpp"
+
+int main() {
+  // Touch one symbol from each subsystem so the linker pulls the library in.
+  dgnn::Tensor t = dgnn::Tensor::Zeros(dgnn::Shape({2, 2}));
+  return t.NumElements() == 4 ? 0 : 1;
+}
