@@ -1,0 +1,153 @@
+#include "core/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dgnn::core {
+
+LatencyHistogram::LatencyHistogram(double min_value_us, double max_value_us,
+                                   double growth)
+    : min_value_(min_value_us),
+      max_value_(max_value_us),
+      growth_(growth),
+      log_growth_(std::log(growth))
+{
+    DGNN_CHECK(min_value_ > 0.0, "histogram min must be positive, got ",
+               min_value_);
+    DGNN_CHECK(max_value_ > min_value_, "histogram max must exceed min");
+    DGNN_CHECK(growth_ > 1.0, "histogram growth factor must exceed 1, got ",
+               growth_);
+    const auto buckets = static_cast<int64_t>(
+        std::ceil(std::log(max_value_ / min_value_) / log_growth_));
+    counts_.assign(static_cast<size_t>(buckets) + 1, 0);
+}
+
+int64_t
+LatencyHistogram::BucketIndex(double value_us) const
+{
+    if (value_us <= min_value_) {
+        return 0;
+    }
+    const auto idx = static_cast<int64_t>(
+        std::floor(std::log(value_us / min_value_) / log_growth_)) + 1;
+    return std::min(idx, static_cast<int64_t>(counts_.size()) - 1);
+}
+
+double
+LatencyHistogram::BucketUpperEdge(int64_t index) const
+{
+    return min_value_ * std::pow(growth_, static_cast<double>(index));
+}
+
+void
+LatencyHistogram::Record(double value_us)
+{
+    counts_[static_cast<size_t>(BucketIndex(value_us))] += 1;
+    if (count_ == 0) {
+        min_ = value_us;
+        max_ = value_us;
+    } else {
+        min_ = std::min(min_, value_us);
+        max_ = std::max(max_, value_us);
+    }
+    sum_ += value_us;
+    ++count_;
+}
+
+double
+LatencyHistogram::Mean() const
+{
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+LatencyHistogram::Quantile(double q) const
+{
+    DGNN_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1], got ", q);
+    if (count_ == 0) {
+        return 0.0;
+    }
+    if (q <= 0.0) {
+        return min_;
+    }
+    if (q >= 1.0) {
+        return max_;
+    }
+    const auto rank = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (cumulative >= rank) {
+            // Clamp the bucket edge into the observed range so quantiles
+            // never report a value outside [min, max].
+            return std::clamp(BucketUpperEdge(static_cast<int64_t>(i)), min_,
+                              max_);
+        }
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::Merge(const LatencyHistogram& other)
+{
+    DGNN_CHECK(counts_.size() == other.counts_.size() &&
+                   min_value_ == other.min_value_ && growth_ == other.growth_,
+               "cannot merge histograms with different bucket layouts");
+    if (other.count_ == 0) {
+        return;
+    }
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+    }
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+void
+RunningStat::Record(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+}
+
+double
+RunningStat::Mean() const
+{
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+void
+RunningStat::Merge(const RunningStat& other)
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+}  // namespace dgnn::core

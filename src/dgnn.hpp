@@ -47,6 +47,7 @@
 #include "core/bottleneck.hpp"
 #include "core/breakdown.hpp"
 #include "core/csv_writer.hpp"
+#include "core/latency_histogram.hpp"
 #include "core/model_summary.hpp"
 #include "core/profiler.hpp"
 #include "core/table_writer.hpp"
@@ -69,3 +70,10 @@
 #include "models/moldgnn.hpp"
 #include "models/tgat.hpp"
 #include "models/tgn.hpp"
+
+// Online inference serving
+#include "serve/batch_policy.hpp"
+#include "serve/executor.hpp"
+#include "serve/model_session.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"

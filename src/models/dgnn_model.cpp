@@ -35,6 +35,19 @@ ValidateRunConfig(const sim::Runtime& runtime, const RunConfig& config)
                "RunConfig mode does not match the runtime's execution mode");
 }
 
+RunConfig
+SingleBatchProbe(sim::ExecMode mode, int64_t batch_size, int64_t num_neighbors)
+{
+    RunConfig run;
+    run.mode = mode;
+    run.batch_size = batch_size;
+    run.num_neighbors = num_neighbors;
+    run.max_events = batch_size;
+    run.numeric_cap = 1;
+    run.include_warmup = false;
+    return run;
+}
+
 RunResult
 CollectRunStats(sim::Runtime& runtime, const std::string& model,
                 const std::string& dataset, int64_t iterations)

@@ -103,6 +103,15 @@ void ChargeBatchOverhead(sim::Runtime& runtime);
 /// cap values, mode matching the runtime). Every model calls this first.
 void ValidateRunConfig(const sim::Runtime& runtime, const RunConfig& config);
 
+/// Single-batch probe configuration: runs exactly one mini-batch of
+/// @p batch_size items (max_events == batch_size) with warm-up disabled and
+/// numerics capped to one item. This is the batched entry point the online
+/// serving layer (serve::ModelSession) replays against a scratch runtime to
+/// capture a model's per-batch cost profile — cost accounting always covers
+/// the full batch (see the numeric_cap contract in the file header).
+RunConfig SingleBatchProbe(sim::ExecMode mode, int64_t batch_size,
+                           int64_t num_neighbors = 20);
+
 /// Assembles the common RunResult fields from the runtime's measurement
 /// window. Model-specific fields (checksum, warm-up) are set by the caller.
 RunResult CollectRunStats(sim::Runtime& runtime, const std::string& model,

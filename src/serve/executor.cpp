@@ -1,0 +1,88 @@
+#include "serve/executor.hpp"
+
+#include "support/check.hpp"
+
+namespace dgnn::serve {
+
+sim::SimTime
+BatchExecutor::Drain()
+{
+    return runtime_.Synchronize();
+}
+
+sim::SimTime
+SerialExecutor::Submit(const BatchProfile& profile)
+{
+    sim::CategoryScope scope(runtime_, "Serving Batch");
+    runtime_.RunHostFor("batch_build", profile.host_us);
+    if (profile.h2d_bytes > 0) {
+        runtime_.CopyToDevice(profile.h2d_bytes, "serve_inputs_h2d");
+    }
+    for (const sim::KernelDesc& kernel : profile.kernels) {
+        runtime_.Launch(kernel);
+    }
+    runtime_.Synchronize();
+    if (profile.d2h_bytes > 0) {
+        runtime_.CopyToHost(profile.d2h_bytes, "serve_results_d2h");
+    }
+    return runtime_.Now();
+}
+
+PipelinedExecutor::PipelinedExecutor(sim::Runtime& runtime, int64_t max_in_flight)
+    : BatchExecutor(runtime), max_in_flight_(max_in_flight)
+{
+    DGNN_CHECK(max_in_flight_ >= 1, "pipeline depth must be >= 1, got ",
+               max_in_flight_);
+}
+
+sim::SimTime
+PipelinedExecutor::Submit(const BatchProfile& profile)
+{
+    sim::CategoryScope scope(runtime_, "Serving Batch");
+
+    // Throttle: with max_in_flight_ batches outstanding the host blocks on
+    // the oldest one before building the next (bounded staging memory).
+    while (static_cast<int64_t>(in_flight_.size()) >= max_in_flight_) {
+        runtime_.WaitEvent(in_flight_.front());
+        in_flight_.pop_front();
+    }
+
+    // Host stage for batch k+1 — overlaps whatever the device still runs.
+    runtime_.RunHostFor("batch_build", profile.host_us);
+
+    // Input stage: pinned async H2D on the copy stream; compute kernels of
+    // this batch wait on its completion event, not the host.
+    if (profile.h2d_bytes > 0) {
+        runtime_.CopyToDeviceAsync(profile.h2d_bytes, "serve_inputs_h2d");
+        const sim::Event inputs_ready = runtime_.RecordEvent(sim::StreamId::kCopy);
+        runtime_.StreamWaitEvent(sim::StreamId::kCompute, inputs_ready);
+    }
+
+    // Compute stage: kernels queue asynchronously behind the previous batch.
+    for (const sim::KernelDesc& kernel : profile.kernels) {
+        runtime_.Launch(kernel);
+    }
+
+    // Result stage: D2H behind the batch's compute event.
+    const sim::Event compute_done = runtime_.RecordEvent(sim::StreamId::kCompute);
+    sim::Event batch_done = compute_done;
+    if (profile.d2h_bytes > 0) {
+        runtime_.StreamWaitEvent(sim::StreamId::kCopy, compute_done);
+        runtime_.CopyToHostAsync(profile.d2h_bytes, "serve_results_d2h");
+        batch_done = runtime_.RecordEvent(sim::StreamId::kCopy);
+    }
+    in_flight_.push_back(batch_done);
+    return batch_done.ready_us;
+}
+
+sim::SimTime
+PipelinedExecutor::Drain()
+{
+    while (!in_flight_.empty()) {
+        runtime_.WaitEvent(in_flight_.front());
+        in_flight_.pop_front();
+    }
+    return runtime_.Synchronize();
+}
+
+}  // namespace dgnn::serve

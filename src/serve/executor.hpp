@@ -1,0 +1,79 @@
+#pragma once
+
+/// @file
+/// Batch executors: how a dispatched batch's cost profile is issued to the
+/// runtime.
+///
+///   * SerialExecutor     — eager-mode semantics, exactly what the offline
+///                          models do: host build, blocking H2D, kernels,
+///                          synchronize, blocking D2H. One batch owns the
+///                          whole machine at a time.
+///   * PipelinedExecutor  — the serving optimization the paper's bottleneck
+///                          analysis motivates: host build for batch k+1
+///                          overlaps device compute for batch k. Inputs move
+///                          via async pinned copies on the copy stream; the
+///                          compute stream waits on the copy event; results
+///                          return via an async D2H behind a compute event.
+///                          A depth bound (default 2 = double buffering)
+///                          throttles the host when it runs too far ahead.
+///
+/// Submit returns the batch's absolute completion time, which for the
+/// pipelined executor generally lies beyond the host clock.
+
+#include <cstdint>
+#include <deque>
+
+#include "serve/model_session.hpp"
+#include "sim/runtime.hpp"
+
+namespace dgnn::serve {
+
+/// Issues batches to the simulated runtime.
+class BatchExecutor {
+  public:
+    explicit BatchExecutor(sim::Runtime& runtime) : runtime_(runtime) {}
+    virtual ~BatchExecutor() = default;
+
+    virtual std::string Name() const = 0;
+
+    /// Issues one batch; returns its absolute completion time (when its
+    /// results are back on the host).
+    virtual sim::SimTime Submit(const BatchProfile& profile) = 0;
+
+    /// Blocks the host until every in-flight batch completes.
+    virtual sim::SimTime Drain();
+
+    sim::Runtime& GetRuntime() { return runtime_; }
+
+  protected:
+    sim::Runtime& runtime_;
+};
+
+/// Eager-mode executor: every stage blocks the host.
+class SerialExecutor : public BatchExecutor {
+  public:
+    using BatchExecutor::BatchExecutor;
+
+    std::string Name() const override { return "serial"; }
+    sim::SimTime Submit(const BatchProfile& profile) override;
+};
+
+/// Multi-stream pipelined executor with bounded in-flight depth.
+class PipelinedExecutor : public BatchExecutor {
+  public:
+    /// @param max_in_flight batches allowed in flight before the host
+    ///                      blocks (2 = classic double buffering)
+    explicit PipelinedExecutor(sim::Runtime& runtime, int64_t max_in_flight = 2);
+
+    std::string Name() const override { return "pipelined"; }
+    sim::SimTime Submit(const BatchProfile& profile) override;
+    sim::SimTime Drain() override;
+
+    int64_t InFlight() const { return static_cast<int64_t>(in_flight_.size()); }
+
+  private:
+    int64_t max_in_flight_;
+    std::deque<sim::Event> in_flight_;
+};
+
+}  // namespace dgnn::serve

@@ -1,0 +1,76 @@
+#include "serve/model_session.hpp"
+
+#include "support/check.hpp"
+
+namespace dgnn::serve {
+
+ModelSession::ModelSession(models::DgnnModel& model, sim::ExecMode mode,
+                           int64_t num_neighbors)
+    : model_(model), mode_(mode), num_neighbors_(num_neighbors)
+{
+}
+
+const BatchProfile&
+ModelSession::Profile(int64_t batch_size)
+{
+    DGNN_CHECK(batch_size > 0, "batch size must be positive, got ", batch_size);
+    auto it = cache_.find(batch_size);
+    if (it == cache_.end()) {
+        it = cache_.emplace(batch_size, Capture(batch_size)).first;
+    }
+    return it->second;
+}
+
+BatchProfile
+ModelSession::Capture(int64_t batch_size)
+{
+    // Replay the model's batched entry on a scratch runtime of the same
+    // mode; the trace then holds every op the batch issues, with enough
+    // descriptor detail (flops/bytes/parallelism/irregularity) to re-issue
+    // it. Warm-up is off, numerics are capped — cost accounting is
+    // identical either way (the numeric_cap contract).
+    sim::Runtime scratch = models::MakeRuntime(mode_);
+    const models::RunConfig probe =
+        models::SingleBatchProbe(mode_, batch_size, num_neighbors_);
+    model_.RunInference(scratch, probe);
+
+    BatchProfile profile;
+    profile.batch_size = batch_size;
+    for (const sim::TraceEvent& e : scratch.GetTrace().Events()) {
+        switch (e.kind) {
+          case sim::EventKind::kHostOp:
+            profile.host_us += e.Duration();
+            break;
+          case sim::EventKind::kKernel: {
+            sim::KernelDesc k;
+            k.name = e.name;
+            k.flops = e.flops;
+            k.bytes = e.bytes;
+            k.parallel_items = e.parallel_items;
+            k.irregular = e.irregular;
+            profile.kernels.push_back(std::move(k));
+            break;
+          }
+          case sim::EventKind::kTransfer:
+            if (e.direction == sim::CopyDirection::kHostToDevice) {
+                profile.h2d_bytes += e.bytes;
+            } else if (e.direction == sim::CopyDirection::kDeviceToHost) {
+                profile.d2h_bytes += e.bytes;
+            }
+            break;
+          case sim::EventKind::kSync:
+          case sim::EventKind::kMarker:
+            break;
+        }
+    }
+    // In CPU-only mode kernels run as synchronous host ops through
+    // Launch(); they still surface as kKernel events, so the profile is
+    // never empty for a real model.
+    DGNN_CHECK(!profile.kernels.empty(),
+               "batch capture for ", model_.Name(),
+               " recorded no device kernels — is the model issuing work "
+               "through the runtime?");
+    return profile;
+}
+
+}  // namespace dgnn::serve

@@ -1,0 +1,71 @@
+#pragma once
+
+/// @file
+/// Bridges the offline model layer to the online server. A ModelSession
+/// wraps one DgnnModel and captures, per batch size, the model's exact
+/// per-batch cost profile: it replays the model's batched inference entry
+/// (models::SingleBatchProbe) against a scratch runtime and distills the
+/// recorded trace into a BatchProfile — total host-side work (sampling,
+/// batch build, framework overhead), H2D/D2H transfer volumes, and the
+/// ordered device-kernel descriptors. The serving executors then re-issue
+/// that profile per request batch, either serially (eager-mode semantics)
+/// or pipelined across streams. Profiles are memoized per batch size, so
+/// dynamic batching with variable sizes stays cheap.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "models/dgnn_model.hpp"
+#include "sim/kernel.hpp"
+#include "sim/runtime.hpp"
+
+namespace dgnn::serve {
+
+/// Everything one inference batch costs, in issue order.
+struct BatchProfile {
+    int64_t batch_size = 0;
+    /// Total host-side work per batch (sampling + batch build + framework
+    /// overhead), us.
+    sim::SimTime host_us = 0.0;
+    /// Input bytes moved host->device per batch.
+    int64_t h2d_bytes = 0;
+    /// Result bytes moved device->host per batch.
+    int64_t d2h_bytes = 0;
+    /// Device kernels, in launch order.
+    std::vector<sim::KernelDesc> kernels;
+};
+
+/// One served model: captures and memoizes BatchProfiles.
+class ModelSession {
+  public:
+    /// @param model         the model to serve (borrowed; must outlive the
+    ///                      session)
+    /// @param mode          execution mode profiles are captured under
+    /// @param num_neighbors sampler fan-out forwarded to the probe config
+    ModelSession(models::DgnnModel& model, sim::ExecMode mode,
+                 int64_t num_neighbors = 20);
+
+    std::string ModelName() const { return model_.Name(); }
+    sim::ExecMode Mode() const { return mode_; }
+
+    /// The (memoized) cost profile of a batch of @p batch_size requests.
+    const BatchProfile& Profile(int64_t batch_size);
+
+    /// Number of distinct batch sizes captured so far.
+    int64_t CapturedProfiles() const
+    {
+        return static_cast<int64_t>(cache_.size());
+    }
+
+  private:
+    BatchProfile Capture(int64_t batch_size);
+
+    models::DgnnModel& model_;
+    sim::ExecMode mode_;
+    int64_t num_neighbors_;
+    std::map<int64_t, BatchProfile> cache_;
+};
+
+}  // namespace dgnn::serve

@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file
+/// Online-serving request model and arrival processes. A request is one
+/// inference unit (one interaction event for the CTDG models, one
+/// snapshot/graph for the DTDG ones); an arrival process is the sorted
+/// sequence of simulated arrival timestamps, relative to the start of the
+/// serving window. Two generators: a Poisson process (the classic open-loop
+/// load model) and a trace-driven replay that rescales the inter-arrival
+/// gaps of a real graph::EventStream so its burstiness survives at any
+/// target rate.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/event_stream.hpp"
+#include "sim/sim_time.hpp"
+
+namespace dgnn::serve {
+
+/// One queued inference request.
+struct Request {
+    int64_t id = 0;
+    sim::SimTime arrival_us = 0.0;
+};
+
+/// Poisson arrivals: @p n exponential inter-arrival gaps at @p rate_qps
+/// requests per second, deterministic in @p seed.
+std::vector<sim::SimTime> PoissonArrivals(double rate_qps, int64_t n,
+                                          uint64_t seed);
+
+/// Trace-driven arrivals: replays the inter-arrival gaps of @p stream
+/// (cycling when n exceeds the stream length), rescaled so the mean rate is
+/// @p target_qps. Preserves the stream's burstiness profile.
+std::vector<sim::SimTime> TraceArrivals(const graph::EventStream& stream,
+                                        double target_qps, int64_t n);
+
+}  // namespace dgnn::serve

@@ -1,0 +1,206 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dgnn::serve {
+
+const char*
+ToString(ExecutorKind kind)
+{
+    switch (kind) {
+      case ExecutorKind::kSerial:
+        return "serial";
+      case ExecutorKind::kPipelined:
+        return "pipelined";
+    }
+    return "?";
+}
+
+namespace {
+
+std::unique_ptr<BatchExecutor>
+MakeExecutor(sim::Runtime& runtime, const ServerOptions& options)
+{
+    if (options.executor == ExecutorKind::kPipelined) {
+        return std::make_unique<PipelinedExecutor>(runtime,
+                                                   options.pipeline_depth);
+    }
+    return std::make_unique<SerialExecutor>(runtime);
+}
+
+}  // namespace
+
+ServingReport
+Serve(ModelSession& session, BatchPolicy& policy,
+      const std::vector<sim::SimTime>& arrivals, const ServerOptions& options)
+{
+    DGNN_CHECK(std::is_sorted(arrivals.begin(), arrivals.end()),
+               "arrival timestamps must be sorted");
+
+    sim::Runtime runtime = models::MakeRuntime(session.Mode());
+    std::unique_ptr<BatchExecutor> executor = MakeExecutor(runtime, options);
+
+    if (options.warm_start) {
+        // Context/model init happen before the serving window opens; model
+        // weights are assumed resident (a server loads them once).
+        runtime.EnsureWarm(0);
+    }
+    runtime.ResetMeasurementWindow();
+    const sim::SimTime window_start = runtime.Now();
+
+    ServingReport report;
+    report.model = session.ModelName();
+    report.mode = sim::ToString(session.Mode());
+    report.policy = policy.Name();
+    report.executor = executor->Name();
+    report.requests = static_cast<int64_t>(arrivals.size());
+    if (!arrivals.empty() && arrivals.back() > arrivals.front()) {
+        report.offered_qps = static_cast<double>(arrivals.size() - 1) /
+                             (arrivals.back() - arrivals.front()) * 1e6;
+    }
+
+    // Everything below runs in ABSOLUTE host time: rebasing arrivals once
+    // keeps every comparison (admission, policy deadlines, idle targets) in
+    // one floating-point domain. Mixing window-relative and absolute clocks
+    // here can disagree by an ulp once the warm-up offset is large, and an
+    // ulp of disagreement is an infinite loop in a discrete-event simulator.
+    const auto n = static_cast<int64_t>(arrivals.size());
+    std::vector<sim::SimTime> due;
+    due.reserve(arrivals.size());
+    for (const sim::SimTime t : arrivals) {
+        due.push_back(window_start + t);
+    }
+
+    int64_t next_arrival = 0;
+    std::deque<Request> queue;
+    const sim::SimTime first_due = n > 0 ? due.front() : window_start;
+    sim::SimTime last_completion = first_due;
+
+    while (next_arrival < n || !queue.empty()) {
+        const sim::SimTime now = runtime.Now();
+
+        // Admit everything that has arrived by the current host time.
+        while (next_arrival < n && due[static_cast<size_t>(next_arrival)] <= now) {
+            const sim::SimTime t = due[static_cast<size_t>(next_arrival)];
+            queue.push_back(Request{next_arrival, t});
+            policy.OnArrival(t);
+            ++next_arrival;
+        }
+
+        const bool stream_ended = next_arrival >= n;
+        const BatchDecision decision = policy.Decide(queue, now, stream_ended);
+
+        if (decision.dispatch > 0) {
+            DGNN_CHECK(decision.dispatch <= static_cast<int64_t>(queue.size()),
+                       "policy dispatched more requests than queued");
+            report.queue_depth.Record(static_cast<double>(queue.size()));
+            report.batch_size.Record(static_cast<double>(decision.dispatch));
+
+            const BatchProfile& profile = session.Profile(decision.dispatch);
+            const sim::SimTime completion = executor->Submit(profile);
+            last_completion = std::max(last_completion, completion);
+            for (int64_t i = 0; i < decision.dispatch; ++i) {
+                report.latency.Record(completion - queue.front().arrival_us);
+                queue.pop_front();
+            }
+            ++report.batches;
+            continue;
+        }
+
+        // Nothing to dispatch: idle to the next actionable instant. Both
+        // candidate wake targets are strictly in the future (admission
+        // consumed arrivals <= now; policies only schedule wakes beyond
+        // now), so the idle below always advances the clock.
+        sim::SimTime wake = decision.wake_us;
+        if (next_arrival < n) {
+            wake = std::min(wake, due[static_cast<size_t>(next_arrival)]);
+        }
+        DGNN_CHECK(wake < kNoWake,
+                   "batch policy stalled: no dispatch and nothing to wake for");
+        sim::CategoryScope idle_scope(runtime, "Serving Idle");
+        runtime.IdleUntil(wake);
+        DGNN_CHECK(runtime.Now() > now, "serving loop failed to advance");
+    }
+
+    executor->Drain();
+    report.makespan_us = last_completion - first_due;
+    if (report.makespan_us > 0.0) {
+        report.achieved_qps =
+            static_cast<double>(report.requests) / report.makespan_us * 1e6;
+    }
+    return report;
+}
+
+QpsSearchResult
+FindMaxQpsUnderSlo(ModelSession& session,
+                   const std::function<std::unique_ptr<BatchPolicy>()>& make_policy,
+                   const ServerOptions& options, sim::SimTime slo_us,
+                   int64_t num_requests, uint64_t seed, double lo_qps)
+{
+    DGNN_CHECK(slo_us > 0.0, "SLO must be positive, got ", slo_us);
+    DGNN_CHECK(num_requests > 0, "need at least one request for the search");
+    DGNN_CHECK(lo_qps > 0.0, "search floor must be positive, got ", lo_qps);
+
+    QpsSearchResult result;
+    struct Probe {
+        bool sustained;
+        sim::SimTime p99;
+    };
+    // "Sustained" needs both halves: the tail meets the SLO AND the server
+    // keeps up with the offered rate. The second half matters because a
+    // finite workload bounds p99 even past saturation (the last batch
+    // always completes eventually); requiring completions to track
+    // arrivals restores the steady-state meaning of the search.
+    auto probe_at = [&](double rate) {
+        const std::vector<sim::SimTime> arrivals =
+            PoissonArrivals(rate, num_requests, seed);
+        std::unique_ptr<BatchPolicy> policy = make_policy();
+        const ServingReport report = Serve(session, *policy, arrivals, options);
+        ++result.evaluations;
+        const bool keeps_up = report.achieved_qps >= 0.95 * rate;
+        return Probe{report.latency.P99() <= slo_us && keeps_up,
+                     report.latency.P99()};
+    };
+
+    // Phase 1: geometric probe upward from the floor until it breaks.
+    double lo = lo_qps;
+    Probe at_lo = probe_at(lo);
+    if (!at_lo.sustained) {
+        return result;  // even the floor misses the SLO
+    }
+    double hi = lo;
+    constexpr int kMaxDoublings = 24;
+    bool bracketed = false;
+    for (int i = 0; i < kMaxDoublings; ++i) {
+        hi = lo * 2.0;
+        const Probe p = probe_at(hi);
+        if (!p.sustained) {
+            bracketed = true;
+            break;
+        }
+        lo = hi;
+        at_lo = p;
+    }
+
+    // Phase 2: fixed-round bisection of (sustained lo, unsustained hi).
+    if (bracketed) {
+        constexpr int kBisections = 12;
+        for (int i = 0; i < kBisections; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            const Probe p = probe_at(mid);
+            if (p.sustained) {
+                lo = mid;
+                at_lo = p;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    result.max_qps = lo;
+    result.p99_us = at_lo.p99;
+    return result;
+}
+
+}  // namespace dgnn::serve

@@ -1,0 +1,98 @@
+#pragma once
+
+/// @file
+/// The online-serving simulator: an open-loop arrival stream feeds a
+/// request queue; a BatchPolicy turns the queue into batches; a
+/// BatchExecutor issues each batch's captured cost profile to a fresh
+/// simulated runtime. The loop is a discrete-event simulation on the
+/// runtime's host clock — when there is nothing to dispatch the host idles
+/// to the next arrival or policy wake-up. Produces a ServingReport with the
+/// tail-latency histogram, queue/batch statistics, and sustained
+/// throughput; FindMaxQpsUnderSlo searches for the highest offered rate
+/// whose p99 stays under an SLO.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/latency_histogram.hpp"
+#include "serve/batch_policy.hpp"
+#include "serve/executor.hpp"
+#include "serve/model_session.hpp"
+#include "serve/request.hpp"
+
+namespace dgnn::serve {
+
+/// Which executor the server builds over its runtime.
+enum class ExecutorKind {
+    kSerial,
+    kPipelined,
+};
+
+const char* ToString(ExecutorKind kind);
+
+/// Server knobs independent of policy and load.
+struct ServerOptions {
+    ExecutorKind executor = ExecutorKind::kPipelined;
+    /// In-flight depth bound for the pipelined executor.
+    int64_t pipeline_depth = 2;
+    /// Pay the one-time device warm-up before the serving window opens.
+    bool warm_start = true;
+};
+
+/// Everything one serving run produces.
+struct ServingReport {
+    std::string model;
+    std::string mode;
+    std::string policy;
+    std::string executor;
+
+    int64_t requests = 0;
+    int64_t batches = 0;
+    double offered_qps = 0.0;   ///< arrival rate implied by the workload
+    double achieved_qps = 0.0;  ///< completions over the serving makespan
+    sim::SimTime makespan_us = 0.0;
+
+    /// End-to-end request latency (arrival -> results on host), us.
+    core::LatencyHistogram latency;
+    /// Queue depth sampled at each dispatch decision.
+    core::RunningStat queue_depth;
+    /// Dispatched batch sizes.
+    core::RunningStat batch_size;
+};
+
+/// Runs one serving simulation of @p arrivals (relative timestamps, sorted)
+/// against @p session under @p policy. Builds a fresh runtime internally;
+/// deterministic for fixed inputs.
+ServingReport Serve(ModelSession& session, BatchPolicy& policy,
+                    const std::vector<sim::SimTime>& arrivals,
+                    const ServerOptions& options);
+
+/// Result of the sustained-throughput search.
+struct QpsSearchResult {
+    /// Highest offered rate the server sustained — p99 under the SLO while
+    /// completions keep pace with arrivals (0 when even the lowest probed
+    /// rate failed).
+    double max_qps = 0.0;
+    /// p99 latency at that rate, us.
+    sim::SimTime p99_us = 0.0;
+    /// Serving runs the search spent.
+    int64_t evaluations = 0;
+};
+
+/// Binary-searches the maximum sustained Poisson arrival rate: p99 <=
+/// @p slo_us and completions keeping pace with arrivals (>= 95% of the
+/// offered rate — a finite workload bounds p99 even past saturation, so
+/// the latency criterion alone would not saturate). Doubles from
+/// @p lo_qps until the criterion breaks, then bisects a fixed number of
+/// rounds. Policies are recreated per evaluation via @p make_policy;
+/// arrivals are regenerated per rate from @p seed. Deterministic.
+QpsSearchResult FindMaxQpsUnderSlo(
+    ModelSession& session,
+    const std::function<std::unique_ptr<BatchPolicy>()>& make_policy,
+    const ServerOptions& options, sim::SimTime slo_us, int64_t num_requests,
+    uint64_t seed, double lo_qps = 50.0);
+
+}  // namespace dgnn::serve

@@ -22,6 +22,18 @@ ToString(ExecMode mode)
     return "?";
 }
 
+const char*
+ToString(StreamId id)
+{
+    switch (id) {
+      case StreamId::kCompute:
+        return "compute";
+      case StreamId::kCopy:
+        return "copy";
+    }
+    return "?";
+}
+
 DeviceBuffer&
 DeviceBuffer::operator=(DeviceBuffer&& other) noexcept
 {
@@ -53,7 +65,8 @@ Runtime::Runtime(RuntimeConfig config)
       cpu_(config_.cpu),
       gpu_(config_.gpu),
       pcie_(config_.pcie_bandwidth_gbps, config_.pcie_latency_us),
-      compute_stream_("compute")
+      compute_stream_("compute"),
+      copy_stream_("copy")
 {
     DGNN_CHECK(config_.cpu.kind == DeviceKind::kCpu, "cpu spec must be a CPU");
     DGNN_CHECK(config_.gpu.kind == DeviceKind::kGpu, "gpu spec must be a GPU");
@@ -128,6 +141,8 @@ Runtime::RunHost(const KernelDesc& kernel)
     e.occupancy = occ;
     e.flops = kernel.flops;
     e.bytes = kernel.bytes;
+    e.parallel_items = kernel.parallel_items;
+    e.irregular = kernel.irregular;
     trace_.Add(std::move(e));
     return host_time_;
 }
@@ -177,6 +192,8 @@ Runtime::Launch(const KernelDesc& kernel)
     e.occupancy = occ;
     e.flops = kernel.flops;
     e.bytes = kernel.bytes;
+    e.parallel_items = kernel.parallel_items;
+    e.irregular = kernel.irregular;
     trace_.Add(std::move(e));
     return end;
 }
@@ -227,13 +244,121 @@ Runtime::CopyToHost(int64_t bytes, const std::string& what)
     return host_time_;
 }
 
+Stream&
+Runtime::StreamFor(StreamId id)
+{
+    return id == StreamId::kCompute ? compute_stream_ : copy_stream_;
+}
+
+const Stream&
+Runtime::StreamFor(StreamId id) const
+{
+    return id == StreamId::kCompute ? compute_stream_ : copy_stream_;
+}
+
+SimTime
+Runtime::StreamReadyTime(StreamId stream) const
+{
+    return StreamFor(stream).ReadyTime();
+}
+
+SimTime
+Runtime::CopyToDeviceAsync(int64_t bytes, const std::string& what)
+{
+    if (!HasGpu()) {
+        return host_time_;
+    }
+    // Pinned-memory semantics: the host only submits; the DMA engine runs
+    // the transfer once both the PCIe link and the copy stream are free.
+    AdvanceHost(config_.submit_overhead_us);
+    const SimTime earliest = std::max(host_time_, copy_stream_.ReadyTime());
+    const Stream::Interval iv = pcie_.Schedule(earliest, bytes);
+    copy_stream_.Enqueue(iv.end, 0.0);
+    h2d_bytes_ += bytes;
+    ++transfer_count_;
+
+    TraceEvent e = MakeEvent(EventKind::kTransfer, what, "PCIe", iv.start, iv.end);
+    e.bytes = bytes;
+    e.direction = CopyDirection::kHostToDevice;
+    trace_.Add(std::move(e));
+    return iv.end;
+}
+
+SimTime
+Runtime::CopyToHostAsync(int64_t bytes, const std::string& what)
+{
+    if (!HasGpu()) {
+        return host_time_;
+    }
+    AdvanceHost(config_.submit_overhead_us);
+    const SimTime earliest = std::max(host_time_, copy_stream_.ReadyTime());
+    const Stream::Interval iv = pcie_.Schedule(earliest, bytes);
+    copy_stream_.Enqueue(iv.end, 0.0);
+    d2h_bytes_ += bytes;
+    ++transfer_count_;
+
+    TraceEvent e = MakeEvent(EventKind::kTransfer, what, "PCIe", iv.start, iv.end);
+    e.bytes = bytes;
+    e.direction = CopyDirection::kDeviceToHost;
+    trace_.Add(std::move(e));
+    return iv.end;
+}
+
+Event
+Runtime::RecordEvent(StreamId stream)
+{
+    if (!HasGpu()) {
+        return Event{host_time_};
+    }
+    AdvanceHost(config_.event_overhead_us);
+    // The event completes when work already on the stream completes; an
+    // idle stream completes it immediately (at the record point).
+    return Event{std::max(StreamFor(stream).ReadyTime(), host_time_)};
+}
+
+void
+Runtime::StreamWaitEvent(StreamId stream, const Event& event)
+{
+    if (!HasGpu()) {
+        return;
+    }
+    AdvanceHost(config_.event_overhead_us);
+    StreamFor(stream).Enqueue(event.ready_us, 0.0);
+}
+
+SimTime
+Runtime::WaitEvent(const Event& event)
+{
+    if (event.ready_us > host_time_) {
+        const SimTime start = host_time_;
+        sync_wait_us_ += event.ready_us - host_time_;
+        AdvanceHost(event.ready_us - host_time_);
+        trace_.Add(MakeEvent(EventKind::kSync, "event_wait", cpu_.Name(), start,
+                             host_time_));
+    }
+    return host_time_;
+}
+
+SimTime
+Runtime::IdleUntil(SimTime until_us)
+{
+    if (until_us > host_time_) {
+        const SimTime start = host_time_;
+        AdvanceHost(until_us - host_time_);
+        trace_.Add(
+            MakeEvent(EventKind::kHostOp, "idle", cpu_.Name(), start, host_time_));
+    }
+    return host_time_;
+}
+
 SimTime
 Runtime::Synchronize()
 {
     if (!HasGpu()) {
         return host_time_;
     }
-    const SimTime ready = compute_stream_.ReadyTime();
+    const SimTime ready =
+        std::max(compute_stream_.ReadyTime(), copy_stream_.ReadyTime());
     if (ready > host_time_) {
         const SimTime start = host_time_;
         sync_wait_us_ += ready - host_time_;

@@ -11,7 +11,13 @@
 ///  * device kernels are asynchronous — the host pays only a submit cost and
 ///    the kernel lands on the compute stream;
 ///  * copies block the host (pageable-memory semantics);
-///  * Synchronize() blocks the host until the compute stream drains.
+///  * Synchronize() blocks the host until every device stream drains.
+///
+/// On top of the eager substrate the runtime exposes the primitives a
+/// pipelined server needs (serve/): a dedicated copy stream,
+/// CopyToDeviceAsync/CopyToHostAsync with pinned-memory semantics (the host
+/// pays only the submit cost; the DMA engine runs behind it), and Event
+/// record/wait for cross-stream dependencies — the cudaEvent analogue.
 
 #include <cstdint>
 #include <map>
@@ -46,6 +52,23 @@ struct RuntimeConfig {
     SimTime pcie_latency_us = 10.0;
     /// Host-side cost of submitting one asynchronous kernel, us.
     SimTime submit_overhead_us = 1.5;
+    /// Host-side cost of recording an event or enqueueing a stream wait, us.
+    SimTime event_overhead_us = 0.5;
+};
+
+/// The runtime's device-side in-order queues.
+enum class StreamId {
+    kCompute,  ///< Default kernel stream.
+    kCopy,     ///< Async-copy (DMA engine) stream.
+};
+
+const char* ToString(StreamId id);
+
+/// Cross-stream synchronization marker (the cudaEvent analogue). Obtained
+/// from Runtime::RecordEvent; complete once the simulated clock passes
+/// ready_us. Copyable value type — recording again returns a new Event.
+struct Event {
+    SimTime ready_us = 0.0;
 };
 
 class Runtime;
@@ -124,7 +147,43 @@ class Runtime {
     /// Blocking device->host copy; waits for the compute stream first.
     SimTime CopyToHost(int64_t bytes, const std::string& what);
 
-    /// Blocks the host until the compute stream drains; records the wait.
+    /// --- Async copies, events, streams (the pipelining primitives) ------
+
+    /// Asynchronous host->device copy with pinned-memory semantics: the
+    /// host pays only the submit overhead while the DMA engine performs the
+    /// transfer on the copy stream. Returns the copy completion time.
+    /// Ordering against compute kernels is the caller's responsibility
+    /// (RecordEvent + StreamWaitEvent). No-op (returns Now()) in CPU-only
+    /// mode.
+    SimTime CopyToDeviceAsync(int64_t bytes, const std::string& what);
+
+    /// Asynchronous device->host copy on the copy stream (pinned
+    /// destination). Does NOT implicitly wait for the compute stream —
+    /// insert an event dependency first. No-op in CPU-only mode.
+    SimTime CopyToHostAsync(int64_t bytes, const std::string& what);
+
+    /// Records an event on @p stream: it completes when all work currently
+    /// enqueued there has finished (immediately if the stream is idle). In
+    /// CPU-only mode events complete at the current host time.
+    Event RecordEvent(StreamId stream);
+
+    /// Makes future work on @p stream wait for @p event (cross-stream
+    /// fence). Purely device-side: the host pays only the enqueue cost.
+    void StreamWaitEvent(StreamId stream, const Event& event);
+
+    /// Blocks the host until @p event completes; records the wait like
+    /// Synchronize(). Returns the (possibly advanced) host time.
+    SimTime WaitEvent(const Event& event);
+
+    /// Time at which all work enqueued on @p stream completes.
+    SimTime StreamReadyTime(StreamId stream) const;
+
+    /// Advances the host clock to @p until_us without charging CPU busy
+    /// time — the serving loop's "wait for the next request" idle state.
+    /// No-op when @p until_us is in the past.
+    SimTime IdleUntil(SimTime until_us);
+
+    /// Blocks the host until every device stream drains; records the wait.
     SimTime Synchronize();
 
     /// Zero-duration annotation in the trace (phase boundary).
@@ -191,11 +250,15 @@ class Runtime {
     TraceEvent MakeEvent(EventKind kind, std::string name, std::string device,
                          SimTime start, SimTime end) const;
 
+    Stream& StreamFor(StreamId id);
+    const Stream& StreamFor(StreamId id) const;
+
     RuntimeConfig config_;
     Device cpu_;
     Device gpu_;
     PcieLink pcie_;
     Stream compute_stream_;
+    Stream copy_stream_;
     SimTime host_time_ = 0.0;
     SimTime measure_start_ = 0.0;
     std::vector<std::string> category_stack_;

@@ -48,6 +48,12 @@ struct TraceEvent {
     double occupancy = 0.0;
     int64_t flops = 0;
     int64_t bytes = 0;
+    /// Parallel work items and access-pattern flag of the issuing
+    /// KernelDesc (kKernel/kHostOp only). Together with flops/bytes these
+    /// make the descriptor reconstructible from the trace, which is what
+    /// serve::ModelSession relies on to replay captured batches.
+    int64_t parallel_items = 1;
+    bool irregular = false;
     CopyDirection direction = CopyDirection::kNone;
 
     SimTime Duration() const { return end_us - start_us; }

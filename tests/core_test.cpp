@@ -13,6 +13,7 @@
 #include "core/bottleneck.hpp"
 #include "core/breakdown.hpp"
 #include "core/csv_writer.hpp"
+#include "core/latency_histogram.hpp"
 #include "core/model_summary.hpp"
 #include "core/profiler.hpp"
 #include "core/table_writer.hpp"
@@ -318,6 +319,116 @@ TEST(ModelSummaryTest, ContinuousModelsCount)
         }
     }
     EXPECT_EQ(continuous, 5);  // JODIE, TGN, TGAT, DyRep, LDG
+}
+
+TEST(LatencyHistogramTest, ExactPercentilesOnUniformDistribution)
+{
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i) {
+        h.Record(static_cast<double>(i));
+    }
+    EXPECT_EQ(h.Count(), 1000);
+    EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.Max(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.Mean(), 500.5);
+    // Quantiles within the 1% bucket resolution of the exact order stats.
+    EXPECT_NEAR(h.P50(), 500.0, 500.0 * 0.011);
+    EXPECT_NEAR(h.P90(), 900.0, 900.0 * 0.011);
+    EXPECT_NEAR(h.P99(), 990.0, 990.0 * 0.011);
+    // Extremes are exact, not bucket-rounded.
+    EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+}
+
+TEST(LatencyHistogramTest, ExactPercentilesOnPointMassAndBimodal)
+{
+    // Point mass: every quantile is the single value.
+    LatencyHistogram point;
+    for (int i = 0; i < 100; ++i) {
+        point.Record(42.0);
+    }
+    EXPECT_DOUBLE_EQ(point.P50(), 42.0);
+    EXPECT_DOUBLE_EQ(point.P99(), 42.0);
+    EXPECT_DOUBLE_EQ(point.Max(), 42.0);
+
+    // Bimodal 90/10 mix: p50 sits on the low mode, p99 on the high one.
+    LatencyHistogram mix;
+    for (int i = 0; i < 90; ++i) {
+        mix.Record(10.0);
+    }
+    for (int i = 0; i < 10; ++i) {
+        mix.Record(10000.0);
+    }
+    EXPECT_NEAR(mix.P50(), 10.0, 10.0 * 0.011);
+    EXPECT_NEAR(mix.Quantile(0.95), 10000.0, 10000.0 * 0.011);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramBehaviour)
+{
+    LatencyHistogram h;
+    EXPECT_TRUE(h.Empty());
+    EXPECT_EQ(h.Count(), 0);
+    EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.P50(), 0.0);
+    EXPECT_DOUBLE_EQ(h.P99(), 0.0);
+    EXPECT_THROW(h.Quantile(1.5), Error);
+    EXPECT_THROW(h.Quantile(-0.1), Error);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram low;
+    LatencyHistogram high;
+    LatencyHistogram combined;
+    for (int i = 1; i <= 500; ++i) {
+        low.Record(static_cast<double>(i));
+        combined.Record(static_cast<double>(i));
+    }
+    for (int i = 501; i <= 1000; ++i) {
+        high.Record(static_cast<double>(i));
+        combined.Record(static_cast<double>(i));
+    }
+
+    low.Merge(high);
+    EXPECT_EQ(low.Count(), combined.Count());
+    EXPECT_DOUBLE_EQ(low.Min(), combined.Min());
+    EXPECT_DOUBLE_EQ(low.Max(), combined.Max());
+    EXPECT_DOUBLE_EQ(low.Mean(), combined.Mean());
+    for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+        EXPECT_DOUBLE_EQ(low.Quantile(q), combined.Quantile(q));
+    }
+
+    // Merging an empty histogram changes nothing.
+    const double p99_before = low.P99();
+    low.Merge(LatencyHistogram());
+    EXPECT_DOUBLE_EQ(low.P99(), p99_before);
+
+    // Layout mismatch is an error.
+    LatencyHistogram other_layout(1.0, 100.0, 1.5);
+    EXPECT_THROW(low.Merge(other_layout), Error);
+}
+
+TEST(RunningStatTest, TracksMinMeanMaxAndMerges)
+{
+    RunningStat s;
+    EXPECT_EQ(s.Count(), 0);
+    EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+    s.Record(4.0);
+    s.Record(8.0);
+    s.Record(6.0);
+    EXPECT_EQ(s.Count(), 3);
+    EXPECT_DOUBLE_EQ(s.Min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.Max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.Mean(), 6.0);
+
+    RunningStat t;
+    t.Record(100.0);
+    s.Merge(t);
+    EXPECT_EQ(s.Count(), 4);
+    EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.Mean(), 29.5);
 }
 
 }  // namespace

@@ -420,5 +420,51 @@ TEST(AllModelsTest, NumericCapKeepsCostAccountingIdentical)
     EXPECT_EQ(a.iterations, b.iterations);
 }
 
+TEST(AllModelsTest, CategoryTimesPartitionElapsedWindow)
+{
+    // Invariant the Fig 7 breakdowns rely on: after a full run, the
+    // per-category host times partition the measured window exactly —
+    // every microsecond the host spends is attributed to exactly one
+    // category (async kernel time is captured through the Synchronize
+    // waits the models perform).
+    const auto interactions = TinyInteractions();
+    const auto snapshots = TinySnapshots();
+    const auto molecular = TinyMolecular();
+    const auto traffic = TinyTraffic();
+    const auto point_process = TinyPointProcess();
+
+    std::vector<std::unique_ptr<DgnnModel>> all;
+    all.push_back(std::make_unique<Jodie>(interactions, JodieConfig{16, 13}));
+    all.push_back(std::make_unique<Tgat>(interactions, TgatConfig{16, 2, 1, 4, 7}));
+    all.push_back(std::make_unique<Tgn>(interactions, TgnConfig{16, 16, 2, 11}));
+    all.push_back(std::make_unique<DyRep>(point_process, DyRepConfig{8, 3, 29}));
+    all.push_back(std::make_unique<Ldg>(point_process,
+                                        LdgConfig{LdgEncoder::kMlp, 8, 4, 3, 31}));
+    all.push_back(std::make_unique<EvolveGcn>(
+        snapshots, EvolveGcnConfig{EvolveGcnVariant::kO, 8, 17}));
+    all.push_back(std::make_unique<Astgnn>(traffic, AstgnnConfig{8, 2, 1, 1, 23}));
+    all.push_back(std::make_unique<MolDgnn>(molecular, MolDgnnConfig{8, 16, 19}));
+    ASSERT_EQ(all.size(), 8u);  // every model in models/
+
+    for (const auto& model : all) {
+        for (const sim::ExecMode mode :
+             {sim::ExecMode::kCpuOnly, sim::ExecMode::kHybrid}) {
+            sim::Runtime rt = MakeRuntime(mode);
+            model->RunInference(rt, SmallRun(mode));
+            double category_sum = 0.0;
+            for (const auto& [category, time_us] : rt.CategoryTimes()) {
+                category_sum += time_us;
+            }
+            // Exact partition up to double rounding: the same host-time
+            // deltas are summed in different association orders, so allow
+            // a 1e-9 relative slack (sub-nanosecond here).
+            const double tolerance =
+                1e-9 * std::max(1.0, rt.ElapsedInWindow());
+            EXPECT_NEAR(category_sum, rt.ElapsedInWindow(), tolerance)
+                << model->Name() << " in mode " << sim::ToString(mode);
+        }
+    }
+}
+
 }  // namespace
 }  // namespace dgnn::models

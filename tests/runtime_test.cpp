@@ -229,6 +229,155 @@ TEST(RuntimeTest, DeviceBufferMoveSemantics)
     EXPECT_EQ(rt.Gpu().Memory().LiveBytes(), 0);
 }
 
+TEST(RuntimeTest, DeviceBufferMoveAssignReleasesExisting)
+{
+    // Regression: move-assigning into a buffer that still owns an
+    // allocation must free that allocation (not leak it in the pool).
+    Runtime rt(HybridConfig());
+    DeviceBuffer a = rt.AllocDevice(100, "a");
+    DeviceBuffer b = rt.AllocDevice(250, "b");
+    EXPECT_EQ(rt.Gpu().Memory().LiveBytes(), 350);
+    EXPECT_EQ(rt.Gpu().Memory().LiveAllocationCount(), 2);
+
+    a = std::move(b);  // a's original 100 B must be released here
+    EXPECT_EQ(rt.Gpu().Memory().LiveBytes(), 250);
+    EXPECT_EQ(rt.Gpu().Memory().LiveAllocationCount(), 1);
+    EXPECT_TRUE(a.Valid());
+    EXPECT_EQ(a.Bytes(), 250);
+    EXPECT_FALSE(b.Valid());
+
+    a.Release();
+    EXPECT_EQ(rt.Gpu().Memory().LiveBytes(), 0);
+}
+
+TEST(RuntimeTest, AsyncCopyDoesNotBlockHost)
+{
+    Runtime rt(HybridConfig());
+    const SimTime before = rt.Now();
+    const SimTime copy_end = rt.CopyToDeviceAsync(8 << 20, "h2d_async");
+    // Host paid only the submit overhead; the DMA runs behind it.
+    EXPECT_DOUBLE_EQ(rt.Now(), before + RuntimeConfig{}.submit_overhead_us);
+    EXPECT_GT(copy_end, rt.Now());
+    EXPECT_DOUBLE_EQ(rt.StreamReadyTime(StreamId::kCopy), copy_end);
+    EXPECT_EQ(rt.BytesToDevice(), 8 << 20);
+    // The blocking variant would have advanced the host to the copy end.
+    Runtime blocking(HybridConfig());
+    blocking.CopyToDevice(8 << 20, "h2d_blocking");
+    EXPECT_GT(blocking.Now(), rt.Now());
+}
+
+TEST(RuntimeTest, EventsOrderComputeAfterAsyncCopy)
+{
+    Runtime rt(HybridConfig());
+    const SimTime copy_end = rt.CopyToDeviceAsync(4 << 20, "inputs");
+    const Event inputs_ready = rt.RecordEvent(StreamId::kCopy);
+    EXPECT_DOUBLE_EQ(inputs_ready.ready_us, copy_end);
+
+    rt.StreamWaitEvent(StreamId::kCompute, inputs_ready);
+    const SimTime kernel_end = rt.Launch(SmallKernel());
+    // The kernel may not start before its input copy finished.
+    EXPECT_GE(kernel_end, copy_end);
+
+    const Event compute_done = rt.RecordEvent(StreamId::kCompute);
+    EXPECT_DOUBLE_EQ(compute_done.ready_us, kernel_end);
+
+    // Host wait on the event advances the clock and counts as sync time.
+    const SimTime waited = rt.WaitEvent(compute_done);
+    EXPECT_DOUBLE_EQ(waited, kernel_end);
+    EXPECT_GT(rt.SyncWaitTime(), 0.0);
+}
+
+TEST(RuntimeTest, RecordEventOnIdleStreamCompletesImmediately)
+{
+    Runtime rt(HybridConfig());
+    rt.RunHostFor("host_work", 100.0);
+    const Event e = rt.RecordEvent(StreamId::kCompute);
+    // Nothing is queued: the event is already complete at record time.
+    EXPECT_DOUBLE_EQ(e.ready_us, rt.Now());
+    const SimTime before = rt.Now();
+    rt.WaitEvent(e);
+    EXPECT_DOUBLE_EQ(rt.Now(), before);
+    EXPECT_DOUBLE_EQ(rt.SyncWaitTime(), 0.0);
+}
+
+TEST(RuntimeTest, AsyncPrimitivesAreNoOpsInCpuMode)
+{
+    Runtime rt(CpuConfig());
+    const SimTime t0 = rt.Now();
+    EXPECT_DOUBLE_EQ(rt.CopyToDeviceAsync(1 << 20, "h2d"), t0);
+    EXPECT_DOUBLE_EQ(rt.CopyToHostAsync(1 << 20, "d2h"), t0);
+    const Event e = rt.RecordEvent(StreamId::kCopy);
+    rt.StreamWaitEvent(StreamId::kCompute, e);
+    rt.WaitEvent(e);
+    EXPECT_DOUBLE_EQ(rt.Now(), t0);
+    EXPECT_EQ(rt.BytesToDevice(), 0);
+    EXPECT_EQ(rt.TransferCount(), 0);
+}
+
+TEST(RuntimeTest, SynchronizeDrainsCopyStreamToo)
+{
+    Runtime rt(HybridConfig());
+    const SimTime copy_end = rt.CopyToDeviceAsync(16 << 20, "big_h2d");
+    EXPECT_LT(rt.Now(), copy_end);
+    rt.Synchronize();
+    EXPECT_DOUBLE_EQ(rt.Now(), copy_end);
+}
+
+TEST(RuntimeTest, AsyncCopyOverlapsComputeAcrossStreams)
+{
+    // Pipelined issue order: kernel on the compute stream, then an async
+    // H2D for the *next* batch on the copy stream. Both proceed
+    // concurrently, so the drain point is the max of the two, strictly
+    // less than the serial sum.
+    KernelDesc big = SmallKernel();
+    big.flops = 500000000;
+    big.parallel_items = 1 << 20;
+
+    Runtime serial(HybridConfig());
+    serial.Launch(big);
+    serial.Synchronize();
+    serial.CopyToDevice(32 << 20, "h2d");
+    const SimTime serial_total = serial.Now();
+
+    Runtime overlapped(HybridConfig());
+    overlapped.Launch(big);
+    overlapped.CopyToDeviceAsync(32 << 20, "h2d");
+    overlapped.Synchronize();
+    const SimTime overlapped_total = overlapped.Now();
+
+    EXPECT_LT(overlapped_total, serial_total);
+}
+
+TEST(RuntimeTest, IdleUntilAdvancesClockWithoutBusyTime)
+{
+    Runtime rt(HybridConfig());
+    rt.ResetMeasurementWindow();
+    const SimTime busy_before = rt.Cpu().BusyTime();
+    rt.PushCategory("Serving Idle");
+    rt.IdleUntil(rt.Now() + 1234.5);
+    rt.PopCategory();
+    EXPECT_DOUBLE_EQ(rt.ElapsedInWindow(), 1234.5);
+    EXPECT_DOUBLE_EQ(rt.Cpu().BusyTime(), busy_before);
+    EXPECT_DOUBLE_EQ(rt.CategoryTimes().at("Serving Idle"), 1234.5);
+    // Idling into the past is a no-op.
+    const SimTime now = rt.Now();
+    rt.IdleUntil(now - 100.0);
+    EXPECT_DOUBLE_EQ(rt.Now(), now);
+}
+
+TEST(RuntimeTest, TraceCarriesKernelDescriptorFields)
+{
+    Runtime rt(HybridConfig());
+    KernelDesc k = SmallKernel();
+    k.parallel_items = 777;
+    k.irregular = true;
+    rt.Launch(k);
+    const TraceEvent& e = rt.GetTrace().Events().back();
+    EXPECT_EQ(e.kind, EventKind::kKernel);
+    EXPECT_EQ(e.parallel_items, 777);
+    EXPECT_TRUE(e.irregular);
+}
+
 TEST(RuntimeTest, WarmupAdvancesClockOnce)
 {
     Runtime rt(HybridConfig());
