@@ -44,6 +44,12 @@ LatencyHistogram::BucketUpperEdge(int64_t index) const
 void
 LatencyHistogram::Record(double value_us)
 {
+    if (value_us > max_value_) {
+        // The sample still lands in the top bucket (quantiles stay
+        // monotone), but silently clamping would bias p99 low under
+        // saturation — count it so reports can flag the truncation.
+        ++overflow_count_;
+    }
     counts_[static_cast<size_t>(BucketIndex(value_us))] += 1;
     if (count_ == 0) {
         min_ = value_us;
@@ -111,6 +117,7 @@ LatencyHistogram::Merge(const LatencyHistogram& other)
     }
     sum_ += other.sum_;
     count_ += other.count_;
+    overflow_count_ += other.overflow_count_;
 }
 
 void

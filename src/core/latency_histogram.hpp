@@ -47,6 +47,11 @@ class LatencyHistogram {
     double P90() const { return Quantile(0.90); }
     double P99() const { return Quantile(0.99); }
 
+    /// Samples that exceeded max_value_us and were clamped into the top
+    /// bucket. A non-zero count means upper quantiles are biased low (the
+    /// saturation case) and the layout ceiling should be raised.
+    int64_t OverflowCount() const { return overflow_count_; }
+
     /// Adds @p other's samples into this histogram. The two must share the
     /// same bucket layout (min/max/growth).
     void Merge(const LatencyHistogram& other);
@@ -64,6 +69,7 @@ class LatencyHistogram {
     double log_growth_;
     std::vector<int64_t> counts_;
     int64_t count_ = 0;
+    int64_t overflow_count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;

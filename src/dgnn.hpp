@@ -32,6 +32,9 @@
 #include "graph/tbatch.hpp"
 #include "graph/temporal_sampler.hpp"
 
+// Device-resident cache
+#include "cache/device_cache.hpp"
+
 // Hardware simulator
 #include "sim/device.hpp"
 #include "sim/device_spec.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "support/check.hpp"
 
@@ -55,11 +56,22 @@ TemporalNeighborSampler::Sample(int64_t node, double time, int64_t k)
         }
         cost_.candidates_scanned += take;
     } else {
-        // Uniform over [0, valid); then sort indices so the neighborhood
-        // stays time-ordered (the index sort the paper mentions).
+        // Uniform over [0, valid) WITHOUT replacement (Floyd's algorithm:
+        // `take` distinct positions, one RNG draw per position — the same
+        // stream consumption as the old with-replacement draw, but no
+        // duplicate neighbors when the history has enough distinct
+        // entries); then sort indices so the neighborhood stays
+        // time-ordered (the index sort the paper mentions).
         const int64_t take = std::min<int64_t>(k, valid);
-        for (int64_t i = 0; i < take; ++i) {
-            picked.push_back(rng_.UniformInt(0, valid - 1));
+        std::unordered_set<int64_t> chosen;
+        chosen.reserve(static_cast<size_t>(take));
+        for (int64_t i = valid - take; i < valid; ++i) {
+            const int64_t j = rng_.UniformInt(0, i);
+            const int64_t pick = chosen.insert(j).second ? j : i;
+            if (pick != j) {
+                chosen.insert(pick);
+            }
+            picked.push_back(pick);
         }
         std::sort(picked.begin(), picked.end());
         cost_.sort_ops += static_cast<int64_t>(

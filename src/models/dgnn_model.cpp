@@ -33,6 +33,20 @@ ValidateRunConfig(const sim::Runtime& runtime, const RunConfig& config)
                config.numeric_cap);
     DGNN_CHECK(config.mode == runtime.Mode(),
                "RunConfig mode does not match the runtime's execution mode");
+    DGNN_CHECK(config.cache.capacity_bytes >= 0,
+               "cache capacity must be non-negative, got ",
+               config.cache.capacity_bytes);
+}
+
+cache::DeviceCache
+MakeRunCache(const sim::Runtime& runtime, const RunConfig& run, int64_t row_bytes)
+{
+    if (!runtime.HasGpu() || run.cache.capacity_bytes <= 0 || row_bytes <= 0) {
+        return cache::DeviceCache{};
+    }
+    cache::DeviceCacheConfig config = run.cache;
+    config.row_bytes = row_bytes;
+    return cache::DeviceCache(config);
 }
 
 RunConfig
@@ -69,6 +83,7 @@ CollectRunStats(sim::Runtime& runtime, const std::string& model,
     r.transfer_count = runtime.TransferCount();
     r.transfer_time_us = runtime.TransferTime();
     r.compute_busy_us = runtime.ComputeDevice().BusyTime();
+    r.cache_hit_bytes = runtime.CacheHitBytes();
     r.breakdown = core::Breakdown::FromRuntime(runtime);
     return r;
 }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/device_cache.hpp"
 #include "core/breakdown.hpp"
 #include "core/profiler.hpp"
 #include "graph/temporal_sampler.hpp"
@@ -44,6 +45,12 @@ struct RunConfig {
     int64_t numeric_cap = 0;
     /// Run the one-time warm-up before the measured window.
     bool include_warmup = true;
+    /// Device-resident cache for per-node feature/memory rows, hybrid mode
+    /// only (CPU-only runs bypass it untouched). capacity_bytes == 0
+    /// disables the cache: every gather pays the full PCIe transfer, which
+    /// is the pre-cache baseline bit-for-bit. The model overrides
+    /// cache.row_bytes with its own state row width.
+    cache::DeviceCacheConfig cache;
 };
 
 /// Everything a measured inference run produces.
@@ -72,8 +79,16 @@ struct RunResult {
     sim::SimTime compute_busy_us = 0.0;
 
     /// Order-independent fingerprint of the numeric outputs, for regression
-    /// tests (identical config + seed => identical checksum).
+    /// tests (identical config + seed => identical checksum). The device
+    /// cache never changes this value — it reshapes cost, not math.
     double output_checksum = 0.0;
+
+    /// Device-cache counters for the run (all zero when the cache was
+    /// disabled or the run was CPU-only).
+    cache::CacheStats cache_stats;
+    /// H2D bytes served on-device by cache hits (runtime accounting; equals
+    /// cache_stats.hit_bytes for a single-cache run).
+    int64_t cache_hit_bytes = 0;
 };
 
 /// Abstract profiled model.
@@ -86,6 +101,25 @@ class DgnnModel {
 
     /// Runs inference over the model's dataset under @p config.
     virtual RunResult RunInference(sim::Runtime& runtime, const RunConfig& config) = 0;
+
+    /// Width in bytes of one cacheable per-node state row (memory rows for
+    /// TGN, embedding rows for JODIE, feature rows for TGAT); 0 = the model
+    /// has no per-node state the device cache can hold.
+    virtual int64_t CacheRowBytes() const { return 0; }
+
+    /// Whether cached rows are mutated on the device (node memory /
+    /// embeddings => dirty tracking and write-backs) or read-only
+    /// (feature tables).
+    virtual bool CacheRowsMutable() const { return false; }
+
+    /// Whether the rows a batch gathers are exactly the batch's event
+    /// endpoints (src/dst). True for the endpoint-state models (TGN
+    /// memory, JODIE embeddings); false when gathers extend beyond the
+    /// request's nodes (TGAT pulls sampled-neighbor feature rows the
+    /// serving layer cannot see), in which case cache-aware *serving*
+    /// would under-account transfers and is disabled — the offline cache
+    /// path is unaffected.
+    virtual bool CacheKeysAreRequestEndpoints() const { return false; }
 };
 
 /// Builds a runtime for the requested execution mode with paper presets.
@@ -102,6 +136,14 @@ void ChargeBatchOverhead(sim::Runtime& runtime);
 /// Validates a run configuration (positive batch size, sane neighbor and
 /// cap values, mode matching the runtime). Every model calls this first.
 void ValidateRunConfig(const sim::Runtime& runtime, const RunConfig& config);
+
+/// Builds the run's device cache: enabled only when the runtime is hybrid
+/// and the config carries a positive capacity; the model's @p row_bytes
+/// overrides whatever row width the config holds. Returns a disabled cache
+/// otherwise (all-miss, retains nothing), which models treat as "use the
+/// uncached transfer path".
+cache::DeviceCache MakeRunCache(const sim::Runtime& runtime, const RunConfig& run,
+                                int64_t row_bytes);
 
 /// Single-batch probe configuration: runs exactly one mini-batch of
 /// @p batch_size items (max_events == batch_size) with warm-up disabled and

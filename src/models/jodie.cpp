@@ -35,6 +35,11 @@ Jodie::RunInference(sim::Runtime& runtime, const RunConfig& run)
     ValidateRunConfig(runtime, run);
     core::Profiler profiler(runtime);
     const int64_t d = config_.embed_dim;
+    // Device-resident embedding cache keyed by global node id (users and
+    // items share one id space). Hits keep rows on the device across
+    // chunks; updates mark them dirty and write back on eviction/flush.
+    cache::DeviceCache embedding_cache =
+        MakeRunCache(runtime, run, CacheRowBytes());
 
     sim::SimTime warm_one = 0.0;
     sim::SimTime warm_run = 0.0;
@@ -44,6 +49,15 @@ Jodie::RunInference(sim::Runtime& runtime, const RunConfig& run)
     }
 
     sim::DeviceBuffer weights = runtime.AllocDevice(WeightBytes(), "jodie_weights");
+    // The cache's device footprint, capped at the full embedding tables:
+    // cached capacity is not free device memory.
+    sim::DeviceBuffer cache_buf;
+    if (embedding_cache.Enabled()) {
+        cache_buf = runtime.AllocDevice(
+            std::min(embedding_cache.CapacityRows(), dataset_.NumNodes()) *
+                CacheRowBytes(),
+            "jodie_embedding_cache");
+    }
 
     runtime.ResetMeasurementWindow();
 
@@ -57,6 +71,17 @@ Jodie::RunInference(sim::Runtime& runtime, const RunConfig& run)
     for (int64_t begin = 0; begin < total_events; begin += bs) {
         const int64_t end = std::min(begin + bs, total_events);
         const int64_t chunk_events = end - begin;
+
+        // Unique endpoints of the chunk, in event order (cache keys).
+        std::vector<int64_t> chunk_nodes;
+        if (embedding_cache.Enabled()) {
+            for (int64_t i = begin; i < end; ++i) {
+                const auto& e = dataset_.stream.Event(i);
+                chunk_nodes.push_back(e.src);
+                chunk_nodes.push_back(e.dst);
+            }
+            cache::SortUnique(chunk_nodes);
+        }
 
         // --- Load Embedding: t-batch creation (CPU) + embeddings H2D.
         std::vector<graph::TBatch> tbatches;
@@ -79,8 +104,23 @@ Jodie::RunInference(sim::Runtime& runtime, const RunConfig& run)
             build.parallel_items = 1;
             build.irregular = true;
             runtime.RunHost(build);
-            // Embedding rows for every event endpoint.
-            runtime.CopyToDevice(2 * chunk_events * d * 4, "jodie_embeddings_h2d");
+            // Embedding rows for every event endpoint. Cached: unique rows
+            // come through the device cache (hits stay resident across
+            // chunks — LastFM-style streams revisit the same users/items).
+            if (embedding_cache.Enabled()) {
+                // Every gathered row is rewritten by the RNN updates:
+                // dirty at gather time, so same-chunk evictions still owe
+                // their write-back.
+                const cache::GatherResult g =
+                    embedding_cache.Gather(chunk_nodes, /*mark_dirty=*/true);
+                runtime.GatherToDevice(g.hit_rows, g.miss_rows, CacheRowBytes(),
+                                       "jodie_embeddings");
+                runtime.WriteBackToHost(g.writeback_rows, CacheRowBytes(),
+                                       "jodie_embeddings");
+            } else {
+                runtime.CopyToDevice(2 * chunk_events * d * 4,
+                                     "jodie_embeddings_h2d");
+            }
             sim::DeviceBuffer batch_buf =
                 runtime.AllocDevice(2 * chunk_events * d * 4, "jodie_chunk");
             // Buffer freed at scope end: JODIE reuses one staging area.
@@ -169,12 +209,20 @@ Jodie::RunInference(sim::Runtime& runtime, const RunConfig& run)
             }
         }
 
-        // --- Updated embeddings D2H (Fig 5a final step).
-        {
+        // --- Updated embeddings D2H (Fig 5a final step). Cached: the
+        // updated rows stay device-resident (marked dirty at gather time)
+        // and write back only on eviction or the end-of-run flush.
+        if (!embedding_cache.Enabled()) {
             core::ProfileScope scope(profiler, "Update Embedding");
-            runtime.CopyToHost(2 * chunk_events * d * 4, "jodie_embeddings_d2h");
+            runtime.CopyToHost(2 * chunk_events * d * 4,
+                               "jodie_embeddings_d2h");
         }
         ++iterations;
+    }
+
+    if (embedding_cache.Enabled()) {
+        runtime.WriteBackToHost(embedding_cache.FlushDirty(), CacheRowBytes(),
+                                "jodie_embeddings_flush");
     }
 
     RunResult result =
@@ -182,6 +230,7 @@ Jodie::RunInference(sim::Runtime& runtime, const RunConfig& run)
     result.warmup_one_time_us = warm_one;
     result.warmup_per_run_us = warm_run;
     result.output_checksum = checksum.Value();
+    result.cache_stats = embedding_cache.Stats();
     return result;
 }
 

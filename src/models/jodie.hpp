@@ -46,6 +46,13 @@ class Jodie : public DgnnModel {
 
     int64_t WeightBytes() const;
 
+    /// One user/item embedding row (keyed by global node id). Rows are
+    /// rewritten by the RNN updates, so they carry dirty bits; the rows a
+    /// chunk gathers are exactly its event endpoints.
+    int64_t CacheRowBytes() const override { return config_.embed_dim * 4; }
+    bool CacheRowsMutable() const override { return true; }
+    bool CacheKeysAreRequestEndpoints() const override { return true; }
+
     const nn::Embedding& UserEmbeddings() const { return *user_embeddings_; }
     const nn::Embedding& ItemEmbeddings() const { return *item_embeddings_; }
 

@@ -54,6 +54,14 @@ class Tgat : public DgnnModel {
 
     int64_t WeightBytes() const;
 
+    /// One node-feature row — read-only, so cached rows never write back.
+    /// With the cache enabled the feature table is NOT assumed resident;
+    /// the capacity sweep spans "nothing fits" to "the table fits".
+    int64_t CacheRowBytes() const override
+    {
+        return dataset_.spec.edge_feature_dim * 4;
+    }
+
   private:
     const data::InteractionDataset& dataset_;
     TgatConfig config_;

@@ -48,6 +48,13 @@ class Tgn : public DgnnModel {
     /// Raw message width: [mem_src || mem_dst || time_enc || edge_feat].
     int64_t MessageDim() const;
 
+    /// One node-memory row — the state the device cache holds. Cached rows
+    /// are mutated by the GRU update, so they carry dirty bits; the rows a
+    /// batch gathers are exactly its event endpoints.
+    int64_t CacheRowBytes() const override { return config_.memory_dim * 4; }
+    bool CacheRowsMutable() const override { return true; }
+    bool CacheKeysAreRequestEndpoints() const override { return true; }
+
     /// Read access to the node memory (tests assert update semantics).
     const nn::Embedding& Memory() const { return *memory_; }
 

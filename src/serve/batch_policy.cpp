@@ -91,9 +91,13 @@ AdaptivePolicy::OnArrival(sim::SimTime arrival_us)
     if (saw_arrival_) {
         const sim::SimTime gap = arrival_us - last_arrival_us_;
         constexpr double kAlpha = 0.2;
-        ewma_gap_us_ = ewma_gap_us_ > 0.0
+        // Estimate presence is tracked by a boolean, not by the value: a
+        // first gap of exactly 0 (simultaneous arrivals in a burst) is a
+        // legitimate "infinitely fast" estimate, not its absence.
+        ewma_gap_us_ = has_gap_estimate_
                            ? (1.0 - kAlpha) * ewma_gap_us_ + kAlpha * gap
                            : gap;
+        has_gap_estimate_ = true;
     }
     last_arrival_us_ = arrival_us;
     saw_arrival_ = true;
@@ -124,7 +128,7 @@ AdaptivePolicy::Decide(const std::deque<Request>& queue, sim::SimTime now_us,
     const sim::SimTime fill_us =
         ewma_gap_us_ * static_cast<double>(max_batch_ - depth);
     if (depth >= min_batch_ &&
-        (ewma_gap_us_ <= 0.0 || now_us + fill_us > deadline)) {
+        (!has_gap_estimate_ || now_us + fill_us > deadline)) {
         return {depth, kNoWake};
     }
     return {0, deadline};

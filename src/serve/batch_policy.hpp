@@ -107,6 +107,10 @@ class AdaptivePolicy : public BatchPolicy {
     /// Current EWMA inter-arrival estimate (us); exposed for tests.
     sim::SimTime EstimatedGapUs() const { return ewma_gap_us_; }
 
+    /// Whether at least one inter-arrival gap has been observed (a gap of
+    /// exactly 0 — a burst — still counts); exposed for tests.
+    bool HasGapEstimate() const { return has_gap_estimate_; }
+
   private:
     int64_t min_batch_;
     int64_t max_batch_;
@@ -114,6 +118,7 @@ class AdaptivePolicy : public BatchPolicy {
     sim::SimTime ewma_gap_us_ = 0.0;
     sim::SimTime last_arrival_us_ = 0.0;
     bool saw_arrival_ = false;
+    bool has_gap_estimate_ = false;
 };
 
 }  // namespace dgnn::serve

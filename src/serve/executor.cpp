@@ -11,12 +11,22 @@ BatchExecutor::Drain()
 }
 
 sim::SimTime
-SerialExecutor::Submit(const BatchProfile& profile)
+SerialExecutor::Submit(const BatchProfile& profile,
+                       const CacheBatchCost& cache_cost)
 {
     sim::CategoryScope scope(runtime_, "Serving Batch");
     runtime_.RunHostFor("batch_build", profile.host_us);
-    if (profile.h2d_bytes > 0) {
-        runtime_.CopyToDevice(profile.h2d_bytes, "serve_inputs_h2d");
+    // Missed state rows ride the batch's single staged input copy (one
+    // pinned buffer, one PCIe transaction); cache hits cost only the
+    // device-side gather kernel.
+    const int64_t h2d_total =
+        profile.h2d_bytes + cache_cost.miss_rows * cache_cost.row_bytes;
+    if (h2d_total > 0) {
+        runtime_.CopyToDevice(h2d_total, "serve_inputs_h2d");
+    }
+    if (cache_cost.hit_rows > 0) {
+        runtime_.GatherHits(cache_cost.hit_rows, cache_cost.row_bytes,
+                            "serve_state");
     }
     for (const sim::KernelDesc& kernel : profile.kernels) {
         runtime_.Launch(kernel);
@@ -24,6 +34,10 @@ SerialExecutor::Submit(const BatchProfile& profile)
     runtime_.Synchronize();
     if (profile.d2h_bytes > 0) {
         runtime_.CopyToHost(profile.d2h_bytes, "serve_results_d2h");
+    }
+    if (cache_cost.writeback_rows > 0) {
+        runtime_.WriteBackToHost(cache_cost.writeback_rows, cache_cost.row_bytes,
+                                 "serve_state");
     }
     return runtime_.Now();
 }
@@ -36,7 +50,8 @@ PipelinedExecutor::PipelinedExecutor(sim::Runtime& runtime, int64_t max_in_fligh
 }
 
 sim::SimTime
-PipelinedExecutor::Submit(const BatchProfile& profile)
+PipelinedExecutor::Submit(const BatchProfile& profile,
+                          const CacheBatchCost& cache_cost)
 {
     sim::CategoryScope scope(runtime_, "Serving Batch");
 
@@ -51,11 +66,19 @@ PipelinedExecutor::Submit(const BatchProfile& profile)
     runtime_.RunHostFor("batch_build", profile.host_us);
 
     // Input stage: pinned async H2D on the copy stream; compute kernels of
-    // this batch wait on its completion event, not the host.
-    if (profile.h2d_bytes > 0) {
-        runtime_.CopyToDeviceAsync(profile.h2d_bytes, "serve_inputs_h2d");
+    // this batch wait on its completion event, not the host. Missed state
+    // rows ride the same staged copy (one pinned buffer, one DMA); the
+    // hit-gather kernel queues on the compute stream behind the fence.
+    const int64_t h2d_total =
+        profile.h2d_bytes + cache_cost.miss_rows * cache_cost.row_bytes;
+    if (h2d_total > 0) {
+        runtime_.CopyToDeviceAsync(h2d_total, "serve_inputs_h2d");
         const sim::Event inputs_ready = runtime_.RecordEvent(sim::StreamId::kCopy);
         runtime_.StreamWaitEvent(sim::StreamId::kCompute, inputs_ready);
+    }
+    if (cache_cost.hit_rows > 0) {
+        runtime_.GatherHits(cache_cost.hit_rows, cache_cost.row_bytes,
+                            "serve_state");
     }
 
     // Compute stage: kernels queue asynchronously behind the previous batch.
@@ -63,12 +86,14 @@ PipelinedExecutor::Submit(const BatchProfile& profile)
         runtime_.Launch(kernel);
     }
 
-    // Result stage: D2H behind the batch's compute event.
+    // Result stage: D2H (results + evicted-dirty-row write-backs) behind
+    // the batch's compute event.
     const sim::Event compute_done = runtime_.RecordEvent(sim::StreamId::kCompute);
     sim::Event batch_done = compute_done;
-    if (profile.d2h_bytes > 0) {
+    const int64_t d2h_total = profile.d2h_bytes + cache_cost.WritebackBytes();
+    if (d2h_total > 0) {
         runtime_.StreamWaitEvent(sim::StreamId::kCopy, compute_done);
-        runtime_.CopyToHostAsync(profile.d2h_bytes, "serve_results_d2h");
+        runtime_.CopyToHostAsync(d2h_total, "serve_results_d2h");
         batch_done = runtime_.RecordEvent(sim::StreamId::kCopy);
     }
     in_flight_.push_back(batch_done);

@@ -28,6 +28,20 @@
 
 namespace dgnn::serve {
 
+/// Per-batch cache outcome the serving loop resolved against the session's
+/// live device cache: how the batch's state gather splits into hits and
+/// misses, and how many evicted dirty rows owe a write-back. Inactive
+/// (all-zero) for uncached sessions — the profile then already carries the
+/// full transfer volume.
+struct CacheBatchCost {
+    int64_t hit_rows = 0;
+    int64_t miss_rows = 0;
+    int64_t row_bytes = 0;
+    int64_t writeback_rows = 0;
+
+    int64_t WritebackBytes() const { return writeback_rows * row_bytes; }
+};
+
 /// Issues batches to the simulated runtime.
 class BatchExecutor {
   public:
@@ -37,8 +51,11 @@ class BatchExecutor {
     virtual std::string Name() const = 0;
 
     /// Issues one batch; returns its absolute completion time (when its
-    /// results are back on the host).
-    virtual sim::SimTime Submit(const BatchProfile& profile) = 0;
+    /// results are back on the host). @p cache_cost carries the batch's
+    /// resolved hit/miss split when the session serves through a device
+    /// cache (all-zero for uncached sessions).
+    virtual sim::SimTime Submit(const BatchProfile& profile,
+                                const CacheBatchCost& cache_cost) = 0;
 
     /// Blocks the host until every in-flight batch completes.
     virtual sim::SimTime Drain();
@@ -55,7 +72,8 @@ class SerialExecutor : public BatchExecutor {
     using BatchExecutor::BatchExecutor;
 
     std::string Name() const override { return "serial"; }
-    sim::SimTime Submit(const BatchProfile& profile) override;
+    sim::SimTime Submit(const BatchProfile& profile,
+                        const CacheBatchCost& cache_cost) override;
 };
 
 /// Multi-stream pipelined executor with bounded in-flight depth.
@@ -66,7 +84,8 @@ class PipelinedExecutor : public BatchExecutor {
     explicit PipelinedExecutor(sim::Runtime& runtime, int64_t max_in_flight = 2);
 
     std::string Name() const override { return "pipelined"; }
-    sim::SimTime Submit(const BatchProfile& profile) override;
+    sim::SimTime Submit(const BatchProfile& profile,
+                        const CacheBatchCost& cache_cost) override;
     sim::SimTime Drain() override;
 
     int64_t InFlight() const { return static_cast<int64_t>(in_flight_.size()); }

@@ -1,22 +1,45 @@
 #include "serve/model_session.hpp"
 
+#include <string_view>
+
 #include "support/check.hpp"
 
 namespace dgnn::serve {
 
+namespace {
+
+/// Trace-name markers the runtime's cache-aware helpers attach (see
+/// sim::Runtime::GatherToDevice / WriteBackToHost).
+constexpr std::string_view kCacheMissSuffix = ":cache_miss_h2d";
+constexpr std::string_view kCacheWritebackSuffix = ":cache_writeback_d2h";
+
+}  // namespace
+
 ModelSession::ModelSession(models::DgnnModel& model, sim::ExecMode mode,
-                           int64_t num_neighbors)
+                           int64_t num_neighbors,
+                           cache::DeviceCacheConfig cache_config)
     : model_(model), mode_(mode), num_neighbors_(num_neighbors)
 {
+    // The cache only exists where it can act honestly: hybrid mode,
+    // positive capacity, cacheable per-node state, AND state keyed by the
+    // request's own endpoints — the serving loop can only resolve src/dst
+    // against the cache, so a model whose gathers reach further (TGAT's
+    // sampled-neighbor features) would under-account transfers. Otherwise
+    // the session serves uncached — bit-identical to a cache-less session.
+    if (mode_ == sim::ExecMode::kHybrid && cache_config.capacity_bytes > 0 &&
+        model_.CacheRowBytes() > 0 && model_.CacheKeysAreRequestEndpoints()) {
+        cache_config.row_bytes = model_.CacheRowBytes();
+        cache_ = cache::DeviceCache(cache_config);
+    }
 }
 
 const BatchProfile&
 ModelSession::Profile(int64_t batch_size)
 {
     DGNN_CHECK(batch_size > 0, "batch size must be positive, got ", batch_size);
-    auto it = cache_.find(batch_size);
-    if (it == cache_.end()) {
-        it = cache_.emplace(batch_size, Capture(batch_size)).first;
+    auto it = cache_profiles_.find(batch_size);
+    if (it == cache_profiles_.end()) {
+        it = cache_profiles_.emplace(batch_size, Capture(batch_size)).first;
     }
     return it->second;
 }
@@ -30,18 +53,31 @@ ModelSession::Capture(int64_t batch_size)
     // it. Warm-up is off, numerics are capped — cost accounting is
     // identical either way (the numeric_cap contract).
     sim::Runtime scratch = models::MakeRuntime(mode_);
-    const models::RunConfig probe =
+    models::RunConfig probe =
         models::SingleBatchProbe(mode_, batch_size, num_neighbors_);
+    if (CacheEnabled()) {
+        // Probe through an unbounded scratch cache: every unique state row
+        // misses exactly once and no eviction write-backs occur, so the
+        // trace cleanly separates "per-node state" from everything else.
+        probe.cache = cache::DeviceCacheConfig::Unbounded(model_.CacheRowBytes(),
+                                                          cache_.Eviction());
+    }
     model_.RunInference(scratch, probe);
 
     BatchProfile profile;
     profile.batch_size = batch_size;
+    profile.state_row_bytes = CacheEnabled() ? model_.CacheRowBytes() : 0;
     for (const sim::TraceEvent& e : scratch.GetTrace().Events()) {
         switch (e.kind) {
           case sim::EventKind::kHostOp:
             profile.host_us += e.Duration();
             break;
           case sim::EventKind::kKernel: {
+            if (CacheEnabled() && e.name.ends_with(":cache_hit_gather")) {
+                // The probe cache is fresh, so hits cannot occur; guard
+                // anyway — live gathers are re-issued by the executor.
+                break;
+            }
             sim::KernelDesc k;
             k.name = e.name;
             k.flops = e.flops;
@@ -52,7 +88,13 @@ ModelSession::Capture(int64_t batch_size)
             break;
           }
           case sim::EventKind::kTransfer:
-            if (e.direction == sim::CopyDirection::kHostToDevice) {
+            if (CacheEnabled() && e.name.ends_with(kCacheMissSuffix)) {
+                profile.state_rows += e.bytes / profile.state_row_bytes;
+            } else if (CacheEnabled() &&
+                       e.name.ends_with(kCacheWritebackSuffix)) {
+                // End-of-run flush of the probe; the live session keeps its
+                // rows resident instead.
+            } else if (e.direction == sim::CopyDirection::kHostToDevice) {
                 profile.h2d_bytes += e.bytes;
             } else if (e.direction == sim::CopyDirection::kDeviceToHost) {
                 profile.d2h_bytes += e.bytes;

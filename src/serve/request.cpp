@@ -62,4 +62,18 @@ TraceArrivals(const graph::EventStream& stream, double target_qps, int64_t n)
     return arrivals;
 }
 
+std::vector<Request>
+TraceRequests(const graph::EventStream& stream, double target_qps, int64_t n)
+{
+    const std::vector<sim::SimTime> arrivals = TraceArrivals(stream, target_qps, n);
+    std::vector<Request> requests;
+    requests.reserve(arrivals.size());
+    for (int64_t i = 0; i < n; ++i) {
+        const graph::TemporalEvent& e = stream.Event(i % stream.NumEvents());
+        requests.push_back(Request{i, arrivals[static_cast<size_t>(i)], e.src,
+                                   e.dst});
+    }
+    return requests;
+}
+
 }  // namespace dgnn::serve

@@ -18,10 +18,15 @@
 
 namespace dgnn::serve {
 
-/// One queued inference request.
+/// One queued inference request. src/dst identify the nodes the request
+/// touches (the interaction's endpoints) so a cache-aware session can model
+/// cross-batch locality; -1 = unknown (node-blind generators), in which
+/// case cached serving falls back to the captured all-miss state volume.
 struct Request {
     int64_t id = 0;
     sim::SimTime arrival_us = 0.0;
+    int64_t src = -1;
+    int64_t dst = -1;
 };
 
 /// Poisson arrivals: @p n exponential inter-arrival gaps at @p rate_qps
@@ -34,5 +39,12 @@ std::vector<sim::SimTime> PoissonArrivals(double rate_qps, int64_t n,
 /// @p target_qps. Preserves the stream's burstiness profile.
 std::vector<sim::SimTime> TraceArrivals(const graph::EventStream& stream,
                                         double target_qps, int64_t n);
+
+/// Trace-driven *requests*: same timestamps as TraceArrivals plus the
+/// replayed event's endpoints, so recurrent nodes in the stream (the
+/// Wikipedia/Reddit repeat-talkers) reappear across serving batches and a
+/// warm device cache can exploit the locality.
+std::vector<Request> TraceRequests(const graph::EventStream& stream,
+                                   double target_qps, int64_t n);
 
 }  // namespace dgnn::serve

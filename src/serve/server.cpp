@@ -36,10 +36,27 @@ ServingReport
 Serve(ModelSession& session, BatchPolicy& policy,
       const std::vector<sim::SimTime>& arrivals, const ServerOptions& options)
 {
-    DGNN_CHECK(std::is_sorted(arrivals.begin(), arrivals.end()),
+    std::vector<Request> requests;
+    requests.reserve(arrivals.size());
+    int64_t id = 0;
+    for (const sim::SimTime t : arrivals) {
+        requests.push_back(Request{id++, t});
+    }
+    return ServeRequests(session, policy, requests, options);
+}
+
+ServingReport
+ServeRequests(ModelSession& session, BatchPolicy& policy,
+              const std::vector<Request>& requests, const ServerOptions& options)
+{
+    DGNN_CHECK(std::is_sorted(requests.begin(), requests.end(),
+                              [](const Request& a, const Request& b) {
+                                  return a.arrival_us < b.arrival_us;
+                              }),
                "arrival timestamps must be sorted");
 
     sim::Runtime runtime = models::MakeRuntime(session.Mode());
+    const cache::CacheStats cache_stats_before = session.Cache().Stats();
     std::unique_ptr<BatchExecutor> executor = MakeExecutor(runtime, options);
 
     if (options.warm_start) {
@@ -55,10 +72,12 @@ Serve(ModelSession& session, BatchPolicy& policy,
     report.mode = sim::ToString(session.Mode());
     report.policy = policy.Name();
     report.executor = executor->Name();
-    report.requests = static_cast<int64_t>(arrivals.size());
-    if (!arrivals.empty() && arrivals.back() > arrivals.front()) {
-        report.offered_qps = static_cast<double>(arrivals.size() - 1) /
-                             (arrivals.back() - arrivals.front()) * 1e6;
+    report.requests = static_cast<int64_t>(requests.size());
+    if (!requests.empty() &&
+        requests.back().arrival_us > requests.front().arrival_us) {
+        report.offered_qps =
+            static_cast<double>(requests.size() - 1) /
+            (requests.back().arrival_us - requests.front().arrival_us) * 1e6;
     }
 
     // Everything below runs in ABSOLUTE host time: rebasing arrivals once
@@ -66,11 +85,11 @@ Serve(ModelSession& session, BatchPolicy& policy,
     // one floating-point domain. Mixing window-relative and absolute clocks
     // here can disagree by an ulp once the warm-up offset is large, and an
     // ulp of disagreement is an infinite loop in a discrete-event simulator.
-    const auto n = static_cast<int64_t>(arrivals.size());
+    const auto n = static_cast<int64_t>(requests.size());
     std::vector<sim::SimTime> due;
-    due.reserve(arrivals.size());
-    for (const sim::SimTime t : arrivals) {
-        due.push_back(window_start + t);
+    due.reserve(requests.size());
+    for (const Request& r : requests) {
+        due.push_back(window_start + r.arrival_us);
     }
 
     int64_t next_arrival = 0;
@@ -84,7 +103,8 @@ Serve(ModelSession& session, BatchPolicy& policy,
         // Admit everything that has arrived by the current host time.
         while (next_arrival < n && due[static_cast<size_t>(next_arrival)] <= now) {
             const sim::SimTime t = due[static_cast<size_t>(next_arrival)];
-            queue.push_back(Request{next_arrival, t});
+            const Request& r = requests[static_cast<size_t>(next_arrival)];
+            queue.push_back(Request{next_arrival, t, r.src, r.dst});
             policy.OnArrival(t);
             ++next_arrival;
         }
@@ -99,7 +119,58 @@ Serve(ModelSession& session, BatchPolicy& policy,
             report.batch_size.Record(static_cast<double>(decision.dispatch));
 
             const BatchProfile& profile = session.Profile(decision.dispatch);
-            const sim::SimTime completion = executor->Submit(profile);
+
+            // Resolve the batch's state gather against the session's live
+            // cache (warm across batches and runs). Blind endpoints (a
+            // src or dst of -1) are charged their share of the probe's
+            // all-miss state volume, so transfer accounting never silently
+            // drops state movement — not even in mixed or half-blind
+            // batches.
+            CacheBatchCost cache_cost;
+            if (session.CacheEnabled()) {
+                cache_cost.row_bytes = profile.state_row_bytes;
+                std::vector<int64_t> nodes;
+                nodes.reserve(static_cast<size_t>(2 * decision.dispatch));
+                int64_t blind_endpoints = 0;
+                for (int64_t i = 0; i < decision.dispatch; ++i) {
+                    const Request& r = queue[static_cast<size_t>(i)];
+                    for (const int64_t node : {r.src, r.dst}) {
+                        if (node >= 0) {
+                            nodes.push_back(node);
+                        } else {
+                            ++blind_endpoints;
+                        }
+                    }
+                }
+                cache::SortUnique(nodes);
+                if (!nodes.empty()) {
+                    const cache::GatherResult g = session.Cache().Gather(
+                        nodes, session.CacheRowsMutable());
+                    cache_cost.hit_rows = g.hit_rows;
+                    cache_cost.miss_rows = g.miss_rows;
+                    cache_cost.writeback_rows = g.writeback_rows;
+                }
+                // Pro-rated all-miss charge for the endpoints the cache
+                // cannot see (the probe's state_rows cover a full batch's
+                // 2 * batch_size endpoints' worth of unique state);
+                // ceiling division so a small blind share never truncates
+                // to a free ride. Mutable rows the cache never admitted
+                // also pay their sync-back per batch, like the uncached
+                // baseline.
+                const int64_t blind_rows =
+                    blind_endpoints == 0
+                        ? 0
+                        : (blind_endpoints * profile.state_rows +
+                           2 * profile.batch_size - 1) /
+                              (2 * profile.batch_size);
+                cache_cost.miss_rows += blind_rows;
+                if (session.CacheRowsMutable()) {
+                    cache_cost.writeback_rows += blind_rows;
+                }
+            }
+
+            const sim::SimTime completion =
+                executor->Submit(profile, cache_cost);
             last_completion = std::max(last_completion, completion);
             for (int64_t i = 0; i < decision.dispatch; ++i) {
                 report.latency.Record(completion - queue.front().arrival_us);
@@ -125,11 +196,24 @@ Serve(ModelSession& session, BatchPolicy& policy,
     }
 
     executor->Drain();
+    // End-of-run sync of the host-side store, like the offline models'
+    // flush: every dirty row still resident pays its write-back exactly
+    // once (DESIGN.md §8 — on eviction or here). The rows stay resident,
+    // so a follow-up run over the same session starts warm and clean.
+    if (session.CacheEnabled() && session.CacheRowsMutable()) {
+        runtime.WriteBackToHost(session.Cache().FlushDirty(),
+                                session.Cache().RowBytes(),
+                                "serve_state_flush");
+    }
     report.makespan_us = last_completion - first_due;
     if (report.makespan_us > 0.0) {
         report.achieved_qps =
             static_cast<double>(report.requests) / report.makespan_us * 1e6;
     }
+    report.h2d_bytes = runtime.BytesToDevice();
+    report.d2h_bytes = runtime.BytesToHost();
+    report.cache_hit_bytes = runtime.CacheHitBytes();
+    report.cache_stats = session.Cache().Stats() - cache_stats_before;
     return report;
 }
 

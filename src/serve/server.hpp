@@ -56,19 +56,41 @@ struct ServingReport {
     sim::SimTime makespan_us = 0.0;
 
     /// End-to-end request latency (arrival -> results on host), us.
+    /// latency.OverflowCount() reports samples clamped into the top bucket
+    /// (non-zero means the p99 is biased low — the saturation flag).
     core::LatencyHistogram latency;
     /// Queue depth sampled at each dispatch decision.
     core::RunningStat queue_depth;
     /// Dispatched batch sizes.
     core::RunningStat batch_size;
+
+    /// PCIe traffic of the serving window (the Fig 6/7 transfer categories
+    /// under load).
+    int64_t h2d_bytes = 0;
+    int64_t d2h_bytes = 0;
+    /// H2D bytes served on-device by cache hits during this run.
+    int64_t cache_hit_bytes = 0;
+    /// Device-cache counters for THIS run (delta of the session cache,
+    /// which stays warm across runs). All zero for uncached sessions.
+    cache::CacheStats cache_stats;
 };
 
 /// Runs one serving simulation of @p arrivals (relative timestamps, sorted)
 /// against @p session under @p policy. Builds a fresh runtime internally;
-/// deterministic for fixed inputs.
+/// deterministic for fixed inputs. Requests carry no node identities, so a
+/// cache-enabled session falls back to the captured all-miss state volume.
 ServingReport Serve(ModelSession& session, BatchPolicy& policy,
                     const std::vector<sim::SimTime>& arrivals,
                     const ServerOptions& options);
+
+/// General entry: node-bearing requests (relative arrival timestamps,
+/// sorted). When the session serves through a device cache, each dispatched
+/// batch's unique request nodes run through the live cache — recurrent
+/// nodes across batches become on-device hits, which is the cross-batch
+/// locality the offline benches cannot express.
+ServingReport ServeRequests(ModelSession& session, BatchPolicy& policy,
+                            const std::vector<Request>& requests,
+                            const ServerOptions& options);
 
 /// Result of the sustained-throughput search.
 struct QpsSearchResult {

@@ -244,6 +244,65 @@ Runtime::CopyToHost(int64_t bytes, const std::string& what)
     return host_time_;
 }
 
+namespace {
+
+/// The device-side gather assembling cached rows into the batch's staging
+/// buffer (the index_select a real framework issues): one scattered read
+/// plus one contiguous write per row.
+KernelDesc
+CacheHitGatherKernel(int64_t hit_rows, int64_t row_bytes, const std::string& what)
+{
+    KernelDesc k;
+    k.name = what + ":cache_hit_gather";
+    k.flops = hit_rows * row_bytes / 4;
+    k.bytes = 2 * hit_rows * row_bytes;
+    k.parallel_items = std::max<int64_t>(1, hit_rows * row_bytes / 4);
+    k.irregular = true;
+    return k;
+}
+
+}  // namespace
+
+SimTime
+Runtime::GatherToDevice(int64_t hit_rows, int64_t miss_rows, int64_t row_bytes,
+                        const std::string& what)
+{
+    DGNN_CHECK(hit_rows >= 0 && miss_rows >= 0 && row_bytes > 0,
+               "invalid cache gather: ", hit_rows, " hits, ", miss_rows,
+               " misses, ", row_bytes, " bytes/row");
+    if (!HasGpu()) {
+        return host_time_;
+    }
+    if (miss_rows > 0) {
+        CopyToDevice(miss_rows * row_bytes, what + ":cache_miss_h2d");
+    }
+    GatherHits(hit_rows, row_bytes, what);
+    return host_time_;
+}
+
+SimTime
+Runtime::GatherHits(int64_t hit_rows, int64_t row_bytes, const std::string& what)
+{
+    DGNN_CHECK(hit_rows >= 0 && row_bytes > 0, "invalid hit gather: ", hit_rows,
+               " rows of ", row_bytes, " bytes");
+    if (!HasGpu() || hit_rows == 0) {
+        return host_time_;
+    }
+    cache_hit_bytes_ += hit_rows * row_bytes;
+    return Launch(CacheHitGatherKernel(hit_rows, row_bytes, what));
+}
+
+SimTime
+Runtime::WriteBackToHost(int64_t rows, int64_t row_bytes, const std::string& what)
+{
+    DGNN_CHECK(rows >= 0 && row_bytes > 0, "invalid write-back: ", rows,
+               " rows of ", row_bytes, " bytes");
+    if (!HasGpu() || rows == 0) {
+        return host_time_;
+    }
+    return CopyToHost(rows * row_bytes, what + ":cache_writeback_d2h");
+}
+
 Stream&
 Runtime::StreamFor(StreamId id)
 {
@@ -448,6 +507,7 @@ Runtime::ResetMeasurementWindow()
     gpu_.Memory().ResetPeak();
     h2d_bytes_ = 0;
     d2h_bytes_ = 0;
+    cache_hit_bytes_ = 0;
     transfer_count_ = 0;
     sync_wait_us_ = 0.0;
     transfer_time_us_ = 0.0;

@@ -147,6 +147,35 @@ class Runtime {
     /// Blocking device->host copy; waits for the compute stream first.
     SimTime CopyToHost(int64_t bytes, const std::string& what);
 
+    /// --- Cache-aware transfers (cache::DeviceCache cost surface) --------
+
+    /// Host->device gather of @p hit_rows + @p miss_rows rows of
+    /// @p row_bytes each through a device-resident cache: misses pay the
+    /// blocking PCIe transfer exactly like CopyToDevice, hits cost only a
+    /// device-side gather kernel that reads the cached rows into the
+    /// batch's staging buffer. Hit bytes accumulate in CacheHitBytes()
+    /// (the PCIe traffic the cache saved). No-op in CPU-only mode.
+    SimTime GatherToDevice(int64_t hit_rows, int64_t miss_rows, int64_t row_bytes,
+                           const std::string& what);
+
+    /// The hit half alone: launches the device-side gather kernel for
+    /// @p hit_rows cached rows and credits CacheHitBytes(). Used by the
+    /// serving executors, which coalesce the miss rows into the batch's
+    /// single staged input copy (blocking or async pinned) instead of
+    /// paying a second PCIe transaction. No-op in CPU-only mode or with
+    /// zero rows.
+    SimTime GatherHits(int64_t hit_rows, int64_t row_bytes,
+                       const std::string& what);
+
+    /// Blocking device->host write-back of @p rows dirty cache rows
+    /// (evicted or flushed). No-op in CPU-only mode.
+    SimTime WriteBackToHost(int64_t rows, int64_t row_bytes,
+                            const std::string& what);
+
+    /// H2D bytes served from the device cache (hits) in this measurement
+    /// window — the transfer volume the cache avoided.
+    int64_t CacheHitBytes() const { return cache_hit_bytes_; }
+
     /// --- Async copies, events, streams (the pipelining primitives) ------
 
     /// Asynchronous host->device copy with pinned-memory semantics: the
@@ -267,6 +296,7 @@ class Runtime {
     Trace trace_;
     int64_t h2d_bytes_ = 0;
     int64_t d2h_bytes_ = 0;
+    int64_t cache_hit_bytes_ = 0;
     int64_t transfer_count_ = 0;
     SimTime sync_wait_us_ = 0.0;
     SimTime transfer_time_us_ = 0.0;

@@ -1,0 +1,525 @@
+// Tests for the device-resident cache: eviction policies, dirty-row
+// write-back, stats accounting, the runtime's cache-aware transfer helpers,
+// and the invariant the whole design rests on — the cache reshapes the cost
+// model (fewer PCIe bytes) without ever touching numerics.
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include "cache/device_cache.hpp"
+#include "data/temporal_interactions.hpp"
+#include "models/jodie.hpp"
+#include "models/tgat.hpp"
+#include "models/tgn.hpp"
+#include "serve/server.hpp"
+#include "tensor/random.hpp"
+
+namespace dgnn {
+namespace {
+
+using cache::DeviceCache;
+using cache::DeviceCacheConfig;
+using cache::EvictionPolicy;
+using cache::GatherResult;
+
+DeviceCacheConfig
+Config(int64_t capacity_rows, EvictionPolicy eviction = EvictionPolicy::kLru,
+       int64_t row_bytes = 64)
+{
+    DeviceCacheConfig config;
+    config.capacity_bytes = capacity_rows * row_bytes;
+    config.row_bytes = row_bytes;
+    config.eviction = eviction;
+    return config;
+}
+
+// ------------------------------------------------------------- DeviceCache
+
+TEST(DeviceCacheTest, CapacityIsExpressedInBytes)
+{
+    DeviceCache cache(Config(4, EvictionPolicy::kLru, 256));
+    EXPECT_TRUE(cache.Enabled());
+    EXPECT_EQ(cache.CapacityRows(), 4);
+    EXPECT_EQ(cache.RowBytes(), 256);
+    EXPECT_EQ(cache.ResidentRows(), 0);
+
+    cache.Gather({1, 2, 3});
+    EXPECT_EQ(cache.ResidentRows(), 3);
+    EXPECT_EQ(cache.ResidentBytes(), 3 * 256);
+}
+
+TEST(DeviceCacheTest, LruEvictsLeastRecentlyTouched)
+{
+    DeviceCache cache(Config(2));
+    cache.Gather({1, 2});  // resident: 1, 2
+    cache.Gather({1});     // touch 1 => 2 is now the LRU victim
+    const GatherResult g = cache.Gather({3});
+    EXPECT_EQ(g.miss_rows, 1);
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_FALSE(cache.Contains(2));
+    EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(DeviceCacheTest, FifoEvictsOldestInsertedDespiteTouches)
+{
+    DeviceCache cache(Config(2, EvictionPolicy::kFifo));
+    cache.Gather({1, 2});
+    cache.Gather({1});  // touching 1 must NOT promote it under FIFO
+    cache.Gather({3});
+    EXPECT_FALSE(cache.Contains(1));
+    EXPECT_TRUE(cache.Contains(2));
+    EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(DeviceCacheTest, DuplicateKeysWithinOneGatherHitAfterFirst)
+{
+    DeviceCache cache(Config(8));
+    const GatherResult g = cache.Gather({5, 5, 5});
+    EXPECT_EQ(g.miss_rows, 1);
+    EXPECT_EQ(g.hit_rows, 2);
+}
+
+TEST(DeviceCacheTest, DirtyRowsOweWritebackOnEviction)
+{
+    DeviceCache cache(Config(2));
+    cache.Gather({1, 2});
+    cache.MarkDirty({1});
+    // Insert two new rows: both residents leave, but only row 1 was dirty.
+    const GatherResult g = cache.Gather({3, 4});
+    EXPECT_EQ(g.writeback_rows, 1);
+    EXPECT_EQ(cache.Stats().evictions, 2);
+    EXPECT_EQ(cache.Stats().writeback_rows, 1);
+}
+
+TEST(DeviceCacheTest, GatherMarkDirtyStampsRowsAtTouchTime)
+{
+    DeviceCache cache(Config(4));
+    cache.Gather({1, 2}, /*mark_dirty=*/true);
+    EXPECT_EQ(cache.FlushDirty(), 2);
+
+    // A dirty hit on a clean row upgrades it.
+    cache.Gather({1});
+    cache.Gather({1}, /*mark_dirty=*/true);
+    EXPECT_EQ(cache.FlushDirty(), 1);
+}
+
+TEST(DeviceCacheTest, SameBatchEvictionStillOwesWriteback)
+{
+    // A mutable-state batch whose unique-row count exceeds capacity: rows
+    // inserted and evicted within ONE gather must still pay their
+    // write-back — this is the thrashing case a deferred MarkDirty would
+    // silently drop (the updates would simply vanish from the accounting).
+    DeviceCache cache(Config(2));
+    const GatherResult g =
+        cache.Gather({1, 2, 3, 4, 5}, /*mark_dirty=*/true);
+    EXPECT_EQ(g.miss_rows, 5);
+    EXPECT_EQ(g.writeback_rows, 3);  // 1, 2, 3 evicted dirty
+    EXPECT_EQ(cache.FlushDirty(), 2);  // 4, 5 still resident and dirty
+}
+
+TEST(DeviceCacheTest, FlushDirtyCountsAndClears)
+{
+    DeviceCache cache(Config(4));
+    cache.Gather({1, 2, 3});
+    cache.MarkDirty({1, 3});
+    cache.MarkDirty({99});  // absent keys are ignored
+    EXPECT_EQ(cache.FlushDirty(), 2);
+    EXPECT_EQ(cache.FlushDirty(), 0);  // bits cleared
+    EXPECT_EQ(cache.Stats().writeback_rows, 2);
+}
+
+TEST(DeviceCacheTest, DisabledCacheMissesEverythingAndRetainsNothing)
+{
+    DeviceCache disabled;  // default-constructed
+    const GatherResult g = disabled.Gather({1, 2, 1});
+    EXPECT_EQ(g.miss_rows, 3);
+    EXPECT_EQ(g.hit_rows, 0);
+    EXPECT_FALSE(disabled.Enabled());
+    EXPECT_EQ(disabled.ResidentRows(), 0);
+
+    DeviceCacheConfig zero;
+    zero.capacity_bytes = 0;
+    DeviceCache cache(zero);
+    EXPECT_FALSE(cache.Enabled());
+    EXPECT_EQ(cache.Gather({7}).miss_rows, 1);
+    EXPECT_EQ(cache.ResidentRows(), 0);
+}
+
+TEST(DeviceCacheTest, StatsAccountBytesAndHitRate)
+{
+    DeviceCache cache(Config(8, EvictionPolicy::kLru, 100));
+    cache.Gather({1, 2});
+    cache.Gather({1, 2});
+    const cache::CacheStats& s = cache.Stats();
+    EXPECT_EQ(s.lookups, 4);
+    EXPECT_EQ(s.hits, 2);
+    EXPECT_EQ(s.misses, 2);
+    EXPECT_EQ(s.hit_bytes, 200);
+    EXPECT_EQ(s.miss_bytes, 200);
+    EXPECT_DOUBLE_EQ(s.HitRate(), 0.5);
+
+    // Delta via operator- (per-run reporting over a shared cache).
+    const cache::CacheStats before = s;
+    cache.Gather({1});
+    const cache::CacheStats delta = cache.Stats() - before;
+    EXPECT_EQ(delta.lookups, 1);
+    EXPECT_EQ(delta.hits, 1);
+}
+
+TEST(DeviceCacheTest, DeterministicHitMissSequenceForSameKeyStream)
+{
+    auto run = [] {
+        Rng rng(123);
+        DeviceCache cache(Config(16));
+        std::vector<int64_t> sequence;
+        for (int i = 0; i < 200; ++i) {
+            std::vector<int64_t> keys;
+            for (int j = 0; j < 8; ++j) {
+                keys.push_back(rng.UniformInt(0, 63));
+            }
+            const GatherResult g = cache.Gather(keys);
+            sequence.push_back(g.hit_rows);
+            sequence.push_back(g.miss_rows);
+            sequence.push_back(g.writeback_rows);
+        }
+        return sequence;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(DeviceCacheTest, InvalidConfigurationsThrow)
+{
+    DeviceCacheConfig negative;
+    negative.capacity_bytes = -1;
+    EXPECT_THROW(DeviceCache{negative}, Error);
+
+    DeviceCacheConfig no_row;
+    no_row.capacity_bytes = 1024;
+    no_row.row_bytes = 0;
+    EXPECT_THROW(DeviceCache{no_row}, Error);
+}
+
+// --------------------------------------------------- runtime cost surface
+
+TEST(RuntimeCacheTest, GatherChargesMissesToPcieAndHitsToDevice)
+{
+    sim::Runtime runtime = models::MakeRuntime(sim::ExecMode::kHybrid);
+    runtime.ResetMeasurementWindow();
+    runtime.GatherToDevice(4, 6, 256, "state");
+    runtime.Synchronize();
+
+    EXPECT_EQ(runtime.BytesToDevice(), 6 * 256);  // misses only
+    EXPECT_EQ(runtime.CacheHitBytes(), 4 * 256);
+
+    bool saw_miss_transfer = false;
+    bool saw_hit_kernel = false;
+    for (const sim::TraceEvent& e : runtime.GetTrace().Events()) {
+        if (e.kind == sim::EventKind::kTransfer &&
+            e.name == "state:cache_miss_h2d") {
+            saw_miss_transfer = true;
+        }
+        if (e.kind == sim::EventKind::kKernel &&
+            e.name == "state:cache_hit_gather") {
+            saw_hit_kernel = true;
+        }
+    }
+    EXPECT_TRUE(saw_miss_transfer);
+    EXPECT_TRUE(saw_hit_kernel);
+
+    runtime.WriteBackToHost(3, 256, "state");
+    EXPECT_EQ(runtime.BytesToHost(), 3 * 256);
+}
+
+TEST(RuntimeCacheTest, CpuOnlyModeIsANoOp)
+{
+    sim::Runtime runtime = models::MakeRuntime(sim::ExecMode::kCpuOnly);
+    runtime.ResetMeasurementWindow();
+    const sim::SimTime before = runtime.Now();
+    runtime.GatherToDevice(4, 6, 256, "state");
+    runtime.GatherHits(4, 256, "state");
+    runtime.WriteBackToHost(3, 256, "state");
+    EXPECT_DOUBLE_EQ(runtime.Now(), before);
+    EXPECT_EQ(runtime.BytesToDevice(), 0);
+    EXPECT_EQ(runtime.BytesToHost(), 0);
+    EXPECT_EQ(runtime.CacheHitBytes(), 0);
+}
+
+// ------------------------------------------------------------ model level
+
+data::InteractionDataset
+TinyInteractions()
+{
+    data::InteractionSpec spec;
+    spec.name = "tiny";
+    spec.num_users = 24;
+    spec.num_items = 12;
+    spec.num_events = 512;
+    spec.edge_feature_dim = 8;
+    spec.repeat_prob = 0.8;
+    spec.seed = 5;
+    return data::GenerateInteractions(spec);
+}
+
+models::RunConfig
+HybridRun(int64_t cache_capacity_bytes)
+{
+    models::RunConfig run;
+    run.mode = sim::ExecMode::kHybrid;
+    run.batch_size = 64;
+    run.num_neighbors = 4;
+    run.cache.capacity_bytes = cache_capacity_bytes;
+    return run;
+}
+
+TEST(ModelCacheTest, TgnCachePreservesNumericsAndReducesTransfers)
+{
+    const auto ds = TinyInteractions();
+    const models::TgnConfig config{16, 16, 2, 11};
+
+    models::Tgn uncached_model(ds, config);
+    sim::Runtime r1 = models::MakeRuntime(sim::ExecMode::kHybrid);
+    const models::RunResult uncached =
+        uncached_model.RunInference(r1, HybridRun(0));
+
+    models::Tgn cached_model(ds, config);
+    sim::Runtime r2 = models::MakeRuntime(sim::ExecMode::kHybrid);
+    const models::RunResult cached = cached_model.RunInference(
+        r2, HybridRun(ds.NumNodes() * cached_model.CacheRowBytes()));
+
+    // The cache must never change the math.
+    EXPECT_DOUBLE_EQ(cached.output_checksum, uncached.output_checksum);
+    // ...while strictly shrinking both PCIe directions on a recurrent
+    // stream (memory rows stay resident; sync-back becomes evictions).
+    EXPECT_LT(cached.h2d_bytes, uncached.h2d_bytes);
+    EXPECT_LT(cached.d2h_bytes, uncached.d2h_bytes);
+    EXPECT_GT(cached.cache_stats.hits, 0);
+    EXPECT_EQ(cached.cache_hit_bytes, cached.cache_stats.hit_bytes);
+    EXPECT_EQ(uncached.cache_stats.lookups, 0);
+}
+
+TEST(ModelCacheTest, JodieCachePreservesNumericsAndReducesTransfers)
+{
+    const auto ds = TinyInteractions();
+    const models::JodieConfig config{16, 13};
+
+    models::Jodie uncached_model(ds, config);
+    sim::Runtime r1 = models::MakeRuntime(sim::ExecMode::kHybrid);
+    const models::RunResult uncached =
+        uncached_model.RunInference(r1, HybridRun(0));
+
+    models::Jodie cached_model(ds, config);
+    sim::Runtime r2 = models::MakeRuntime(sim::ExecMode::kHybrid);
+    const models::RunResult cached = cached_model.RunInference(
+        r2, HybridRun(ds.NumNodes() * cached_model.CacheRowBytes()));
+
+    EXPECT_DOUBLE_EQ(cached.output_checksum, uncached.output_checksum);
+    EXPECT_LT(cached.h2d_bytes, uncached.h2d_bytes);
+    EXPECT_LT(cached.d2h_bytes, uncached.d2h_bytes);
+    EXPECT_GT(cached.cache_stats.hits, 0);
+}
+
+TEST(ModelCacheTest, CpuOnlyRunBypassesTheCacheUntouched)
+{
+    const auto ds = TinyInteractions();
+    const models::TgnConfig config{16, 16, 2, 11};
+
+    auto run_cpu = [&](int64_t capacity_rows) {
+        models::Tgn model(ds, config);
+        sim::Runtime runtime = models::MakeRuntime(sim::ExecMode::kCpuOnly);
+        models::RunConfig run;
+        run.mode = sim::ExecMode::kCpuOnly;
+        run.batch_size = 64;
+        run.num_neighbors = 4;
+        run.cache.capacity_bytes = capacity_rows * model.CacheRowBytes();
+        return model.RunInference(runtime, run);
+    };
+    const models::RunResult without = run_cpu(0);
+    const models::RunResult with = run_cpu(ds.NumNodes());
+
+    // A configured cache must leave a CPU-only run bit-identical.
+    EXPECT_DOUBLE_EQ(with.output_checksum, without.output_checksum);
+    EXPECT_DOUBLE_EQ(with.total_us, without.total_us);
+    EXPECT_EQ(with.h2d_bytes, 0);
+    EXPECT_EQ(with.cache_stats.lookups, 0);
+    EXPECT_EQ(with.cache_hit_bytes, 0);
+}
+
+TEST(ModelCacheTest, CachedRunsAreDeterministic)
+{
+    const auto ds = TinyInteractions();
+    auto run_once = [&] {
+        models::Tgn model(ds, models::TgnConfig{16, 16, 2, 11});
+        sim::Runtime runtime = models::MakeRuntime(sim::ExecMode::kHybrid);
+        return model.RunInference(
+            runtime, HybridRun(ds.NumNodes() / 2 * model.CacheRowBytes()));
+    };
+    const models::RunResult a = run_once();
+    const models::RunResult b = run_once();
+    EXPECT_DOUBLE_EQ(a.output_checksum, b.output_checksum);
+    EXPECT_DOUBLE_EQ(a.total_us, b.total_us);
+    EXPECT_EQ(a.h2d_bytes, b.h2d_bytes);
+    EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+    EXPECT_EQ(a.cache_stats.misses, b.cache_stats.misses);
+    EXPECT_EQ(a.cache_stats.evictions, b.cache_stats.evictions);
+}
+
+// ---------------------------------------------------------------- serving
+
+TEST(ServingCacheTest, WarmCacheLowersH2dAndStaysWarmAcrossBatches)
+{
+    const auto ds = TinyInteractions();
+    models::Tgn tgn(ds, models::TgnConfig{16, 16, 2, 11});
+    const auto requests = serve::TraceRequests(ds.stream, 50000.0, 256);
+
+    serve::ServerOptions options;
+    options.executor = serve::ExecutorKind::kSerial;
+
+    serve::ModelSession uncached(tgn, sim::ExecMode::kHybrid, 4);
+    serve::FixedSizePolicy p1(32);
+    const serve::ServingReport base =
+        serve::ServeRequests(uncached, p1, requests, options);
+
+    cache::DeviceCacheConfig cache_config;
+    cache_config.capacity_bytes = ds.NumNodes() * tgn.CacheRowBytes();
+    serve::ModelSession cached(tgn, sim::ExecMode::kHybrid, 4, cache_config);
+    EXPECT_TRUE(cached.CacheEnabled());
+    serve::FixedSizePolicy p2(32);
+    const serve::ServingReport warm =
+        serve::ServeRequests(cached, p2, requests, options);
+
+    EXPECT_EQ(warm.requests, base.requests);
+    EXPECT_LT(warm.h2d_bytes, base.h2d_bytes);
+    // Recurrent trace nodes must hit across batches — the cross-batch
+    // locality the offline path cannot express.
+    EXPECT_GT(warm.cache_stats.hits, 0);
+    EXPECT_GT(warm.cache_hit_bytes, 0);
+    EXPECT_EQ(base.cache_stats.lookups, 0);
+
+    // A second serving run over the same session starts WARM: strictly
+    // more hits than the cold first run.
+    serve::FixedSizePolicy p3(32);
+    const serve::ServingReport second =
+        serve::ServeRequests(cached, p3, requests, options);
+    EXPECT_GT(second.cache_stats.hits, warm.cache_stats.hits);
+    EXPECT_LT(second.h2d_bytes, warm.h2d_bytes);
+}
+
+TEST(ServingCacheTest, CachedServingIsDeterministic)
+{
+    const auto ds = TinyInteractions();
+    const auto requests = serve::TraceRequests(ds.stream, 50000.0, 200);
+    auto run_once = [&] {
+        models::Tgn tgn(ds, models::TgnConfig{16, 16, 2, 11});
+        cache::DeviceCacheConfig cache_config;
+        cache_config.capacity_bytes =
+            ds.NumNodes() / 2 * tgn.CacheRowBytes();
+        serve::ModelSession session(tgn, sim::ExecMode::kHybrid, 4,
+                                    cache_config);
+        serve::FixedSizePolicy policy(32);
+        serve::ServerOptions options;
+        return serve::ServeRequests(session, policy, requests, options);
+    };
+    const serve::ServingReport a = run_once();
+    const serve::ServingReport b = run_once();
+    EXPECT_DOUBLE_EQ(a.latency.P99(), b.latency.P99());
+    EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+    EXPECT_EQ(a.h2d_bytes, b.h2d_bytes);
+    EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+    EXPECT_EQ(a.cache_stats.misses, b.cache_stats.misses);
+}
+
+TEST(ServingCacheTest, NonEndpointKeyedModelsServeUncached)
+{
+    // TGAT's per-batch gathers reach sampled-neighbor feature rows the
+    // serving loop cannot see from src/dst alone — a cache it cannot
+    // resolve honestly. The session must fall back to uncached serving
+    // (full transfer volume in the profile) rather than under-account.
+    const auto ds = TinyInteractions();
+    models::Tgat tgat(ds, models::TgatConfig{16, 2, 1, 4, 7});
+    cache::DeviceCacheConfig cache_config;
+    cache_config.capacity_bytes = ds.NumNodes() * tgat.CacheRowBytes();
+    serve::ModelSession session(tgat, sim::ExecMode::kHybrid, 4, cache_config);
+    EXPECT_FALSE(session.CacheEnabled());
+    const serve::BatchProfile& p = session.Profile(16);
+    EXPECT_EQ(p.state_rows, 0);
+    EXPECT_GT(p.h2d_bytes, 0);
+}
+
+TEST(ServingCacheTest, CpuOnlySessionBypassesTheCache)
+{
+    const auto ds = TinyInteractions();
+    models::Tgn tgn(ds, models::TgnConfig{16, 16, 2, 11});
+    cache::DeviceCacheConfig cache_config;
+    cache_config.capacity_bytes = ds.NumNodes() * tgn.CacheRowBytes();
+    serve::ModelSession session(tgn, sim::ExecMode::kCpuOnly, 4, cache_config);
+    EXPECT_FALSE(session.CacheEnabled());
+
+    const auto requests = serve::TraceRequests(ds.stream, 2000.0, 64);
+    serve::TimeoutPolicy policy(16, 3000.0);
+    serve::ServerOptions options;
+    const serve::ServingReport report =
+        serve::ServeRequests(session, policy, requests, options);
+    EXPECT_EQ(report.requests, 64);
+    EXPECT_EQ(report.h2d_bytes, 0);
+    EXPECT_EQ(report.cache_stats.lookups, 0);
+}
+
+TEST(ServingCacheTest, MixedBlindBatchesStillChargeBlindStateMovement)
+{
+    // A batch mixing node-bearing and node-blind requests must charge the
+    // blind requests' share of state movement (pro-rated all-miss), not
+    // silently drop it because SOME requests carried nodes.
+    const auto ds = TinyInteractions();
+    models::Tgn tgn(ds, models::TgnConfig{16, 16, 2, 11});
+    cache::DeviceCacheConfig cache_config;
+    cache_config.capacity_bytes = ds.NumNodes() * tgn.CacheRowBytes();
+
+    auto serve_with = [&](bool blind_half) {
+        models::Tgn model(ds, models::TgnConfig{16, 16, 2, 11});
+        serve::ModelSession session(model, sim::ExecMode::kHybrid, 4,
+                                    cache_config);
+        auto requests = serve::TraceRequests(ds.stream, 50000.0, 128);
+        if (blind_half) {
+            for (size_t i = 0; i < requests.size(); i += 2) {
+                requests[i].src = -1;
+                requests[i].dst = -1;
+            }
+        }
+        serve::FixedSizePolicy policy(32);
+        serve::ServerOptions options;
+        options.executor = serve::ExecutorKind::kSerial;
+        return serve::ServeRequests(session, policy, requests, options);
+    };
+    const serve::ServingReport full = serve_with(false);
+    const serve::ServingReport mixed = serve_with(true);
+
+    // Blind requests all-miss while their node-bearing twins could have
+    // hit: the mixed run must move at least as many H2D bytes as the
+    // fully node-bearing one, and its cache sees only half the lookups.
+    EXPECT_GE(mixed.h2d_bytes, full.h2d_bytes);
+    EXPECT_LT(mixed.cache_stats.lookups, full.cache_stats.lookups);
+    EXPECT_GT(mixed.cache_stats.lookups, 0);
+}
+
+TEST(ServingCacheTest, NodeBlindArrivalsFallBackToProbeStateVolume)
+{
+    const auto ds = TinyInteractions();
+    models::Tgn tgn(ds, models::TgnConfig{16, 16, 2, 11});
+    cache::DeviceCacheConfig cache_config;
+    cache_config.capacity_bytes = ds.NumNodes() * tgn.CacheRowBytes();
+    serve::ModelSession session(tgn, sim::ExecMode::kHybrid, 4, cache_config);
+
+    // Timestamp-only arrivals carry no node ids: the cache cannot resolve
+    // hits, but the state movement must still be charged (all-miss).
+    const auto arrivals = serve::PoissonArrivals(2000.0, 64, 7);
+    serve::TimeoutPolicy policy(16, 3000.0);
+    serve::ServerOptions options;
+    const serve::ServingReport report =
+        serve::Serve(session, policy, arrivals, options);
+    EXPECT_EQ(report.cache_stats.lookups, 0);
+    EXPECT_GT(report.h2d_bytes, 0);
+}
+
+}  // namespace
+}  // namespace dgnn

@@ -363,6 +363,30 @@ TEST(LatencyHistogramTest, ExactPercentilesOnPointMassAndBimodal)
     EXPECT_NEAR(mix.Quantile(0.95), 10000.0, 10000.0 * 0.011);
 }
 
+TEST(LatencyHistogramTest, CountsOverflowsAboveTheCeiling)
+{
+    LatencyHistogram h(1.0, 1000.0, 1.5);
+    h.Record(10.0);
+    h.Record(999.0);
+    EXPECT_EQ(h.OverflowCount(), 0);
+
+    // Samples beyond max_value_us still clamp into the top bucket (the
+    // quantile path is unchanged), but the truncation is now counted — a
+    // non-zero OverflowCount flags a p99 biased low under saturation.
+    h.Record(5000.0);
+    h.Record(1e9);
+    EXPECT_EQ(h.OverflowCount(), 2);
+    EXPECT_EQ(h.Count(), 4);
+    EXPECT_DOUBLE_EQ(h.Max(), 1e9);  // exact max still tracked on the side
+
+    // Merge accumulates overflow counts too.
+    LatencyHistogram other(1.0, 1000.0, 1.5);
+    other.Record(2000.0);
+    h.Merge(other);
+    EXPECT_EQ(h.OverflowCount(), 3);
+    EXPECT_EQ(h.Count(), 5);
+}
+
 TEST(LatencyHistogramTest, EmptyHistogramBehaviour)
 {
     LatencyHistogram h;

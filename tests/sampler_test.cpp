@@ -84,6 +84,40 @@ TEST(SamplerTest, UniformSamplesAreTimeOrdered)
     }
 }
 
+TEST(SamplerTest, UniformSamplesWithoutReplacement)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    // Node 0's history has 17 entries before t = 18.5, each at a distinct
+    // time. Sampling 10 must never pick the same history entry twice (the
+    // with-replacement regression showed up as repeated times). Sweep
+    // seeds: a single lucky draw must not mask the bug.
+    for (uint64_t seed = 0; seed < 32; ++seed) {
+        TemporalNeighborSampler sampler(adj, SamplingStrategy::kUniform, seed);
+        const SampledNeighborhood nbh = sampler.Sample(0, 18.5, 10);
+        double prev = -1.0;
+        for (size_t j = 0; j < nbh.times.size(); ++j) {
+            ASSERT_GE(nbh.neighbors[j], 0);  // enough history: no padding
+            EXPECT_GT(nbh.times[j], prev)
+                << "duplicate history entry with seed " << seed;
+            prev = nbh.times[j];
+        }
+    }
+}
+
+TEST(SamplerTest, UniformCoversWholeHistoryWhenKEqualsValid)
+{
+    const EventStream s = MakeStream();
+    TemporalAdjacency adj(s);
+    TemporalNeighborSampler sampler(adj, SamplingStrategy::kUniform, 3);
+    // Exactly 15 valid entries before t = 15.5 and k = 15: without
+    // replacement the sample must be the whole history, in time order.
+    const SampledNeighborhood nbh = sampler.Sample(0, 15.5, 15);
+    for (size_t j = 0; j < nbh.times.size(); ++j) {
+        EXPECT_DOUBLE_EQ(nbh.times[j], static_cast<double>(j + 1));
+    }
+}
+
 TEST(SamplerTest, DeterministicWithSeed)
 {
     const EventStream s = MakeStream();

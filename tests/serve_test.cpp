@@ -132,6 +132,48 @@ TEST(BatchPolicyTest, AdaptiveDispatchesEarlyWhenFillIsHopeless)
     EXPECT_EQ(fast.Decide(queued, 1048.0, false).dispatch, 2);
 }
 
+TEST(BatchPolicyTest, AdaptiveTreatsZeroFirstGapAsAnEstimate)
+{
+    AdaptivePolicy policy(2, 64, 1000.0);
+    // A burst: two simultaneous arrivals. The first observed gap is
+    // exactly 0, which IS a rate estimate ("arrivals are instantaneous"),
+    // not its absence — the old `ewma > 0` sentinel got stuck in
+    // no-estimate mode forever here.
+    policy.OnArrival(100.0);
+    policy.OnArrival(100.0);
+    EXPECT_TRUE(policy.HasGapEstimate());
+    EXPECT_DOUBLE_EQ(policy.EstimatedGapUs(), 0.0);
+
+    // With an instantaneous-rate estimate, filling to max_batch is
+    // plausible: keep accumulating instead of dispatching at min_batch.
+    const auto pair = QueueOf({100.0, 100.0});
+    const BatchDecision wait = policy.Decide(pair, 150.0, false);
+    EXPECT_EQ(wait.dispatch, 0);
+    EXPECT_DOUBLE_EQ(wait.wake_us, 1100.0);
+    // The oldest request's deadline still bounds the wait.
+    EXPECT_EQ(policy.Decide(pair, 1100.0, false).dispatch, 2);
+
+    // Later non-zero gaps blend into the EWMA normally.
+    policy.OnArrival(600.0);
+    EXPECT_GT(policy.EstimatedGapUs(), 0.0);
+}
+
+TEST(BatchPolicyTest, FixedSizePartialBatchWaitsOutLullsUntilStreamEnd)
+{
+    FixedSizePolicy policy(8);
+    const auto partial = QueueOf({0.0, 1.0, 2.0});
+    // A long lull: no matter how stale the queue grows, a partial batch
+    // neither dispatches nor schedules a timed wake — only a new arrival
+    // or the end of the stream re-triggers the policy.
+    for (const double now : {10.0, 1e4, 1e7, 1e9}) {
+        const BatchDecision d = policy.Decide(partial, now, false);
+        EXPECT_EQ(d.dispatch, 0);
+        EXPECT_DOUBLE_EQ(d.wake_us, kNoWake);
+    }
+    // Stream end flushes the leftovers.
+    EXPECT_EQ(policy.Decide(partial, 1e9, true).dispatch, 3);
+}
+
 TEST(BatchPolicyTest, InvalidConfigurationsThrow)
 {
     EXPECT_THROW(FixedSizePolicy(0), Error);
