@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the serving gauntlet and verifies both of its artifacts:
+#   1. the text summary is byte-identical to docs/expected/
+#      bench_serving_gauntlet.txt (the determinism gate), and
+#   2. BENCH_serving_gauntlet.json is valid JSON that compare_bench.py
+#      accepts and self-diffs clean (the trajectory-tooling gate).
+# Registered as the `serving_gauntlet_diff` CTest (label: gauntlet).
+#
+# Usage: check_gauntlet.sh <bench-binary> <workdir>
+set -euo pipefail
+
+bench=$1
+workdir=$2
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+mkdir -p "$workdir"
+cd "$workdir"
+
+"$bench" > bench_serving_gauntlet.txt
+diff -u "$repo/docs/expected/bench_serving_gauntlet.txt" \
+    bench_serving_gauntlet.txt
+
+if command -v python3 > /dev/null; then
+    python3 -c "import json; json.load(open('BENCH_serving_gauntlet.json'))"
+    "$repo/scripts/compare_bench.py" BENCH_serving_gauntlet.json \
+        BENCH_serving_gauntlet.json > /dev/null
+else
+    echo "note: python3 not found; skipped JSON validation"
+fi
+
+echo "serving gauntlet matches docs/expected/ and the JSON artifact is valid"

@@ -1,0 +1,135 @@
+#include "core/bench_json_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace dgnn::core {
+
+std::string
+JsonEscape(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name, int64_t schema)
+    : bench_name_(std::move(bench_name)), schema_(schema)
+{
+    DGNN_CHECK(!bench_name_.empty(), "bench name must be non-empty");
+}
+
+void
+BenchJsonWriter::BeginRecord()
+{
+    records_.emplace_back();
+}
+
+void
+BenchJsonWriter::Append(const std::string& key, std::string rendered_value)
+{
+    DGNN_CHECK(!records_.empty(), "Field before BeginRecord");
+    // Built with += (not an operator+ chain) to sidestep the GCC 12
+    // -Wrestrict false positive on concatenated temporaries.
+    std::string field = "\"";
+    field += JsonEscape(key);
+    field += "\": ";
+    field += rendered_value;
+    records_.back().push_back(std::move(field));
+}
+
+void
+BenchJsonWriter::Field(const std::string& key, const std::string& value)
+{
+    std::string rendered = "\"";
+    rendered += JsonEscape(value);
+    rendered += "\"";
+    Append(key, std::move(rendered));
+}
+
+void
+BenchJsonWriter::Field(const std::string& key, const char* value)
+{
+    Field(key, std::string(value));
+}
+
+void
+BenchJsonWriter::Field(const std::string& key, int64_t value)
+{
+    Append(key, std::to_string(value));
+}
+
+void
+BenchJsonWriter::Field(const std::string& key, double value, int precision)
+{
+    DGNN_CHECK(precision >= 0 && precision <= 17,
+               "precision must be in [0, 17], got ", precision);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    Append(key, buf);
+}
+
+std::string
+BenchJsonWriter::ToString() const
+{
+    std::string out = "{\"bench\": \"" + JsonEscape(bench_name_) +
+                      "\", \"schema\": " + std::to_string(schema_) +
+                      ", \"records\": [";
+    for (size_t i = 0; i < records_.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += "  {";
+        const std::vector<std::string>& fields = records_[i];
+        for (size_t f = 0; f < fields.size(); ++f) {
+            if (f > 0) {
+                out += ", ";
+            }
+            out += fields[f];
+        }
+        out += "}";
+    }
+    out += records_.empty() ? "]}\n" : "\n]}\n";
+    return out;
+}
+
+void
+BenchJsonWriter::WriteFile(const std::string& path) const
+{
+    std::ofstream file(path);
+    DGNN_CHECK(file.good(), "cannot open '", path, "' for writing");
+    file << ToString();
+    file.close();
+    DGNN_CHECK(file.good(), "failed writing '", path, "'");
+}
+
+}  // namespace dgnn::core

@@ -47,6 +47,7 @@
 #include "sim/warmup.hpp"
 
 // Profiling / bottleneck-analysis core
+#include "core/bench_json_writer.hpp"
 #include "core/bottleneck.hpp"
 #include "core/breakdown.hpp"
 #include "core/csv_writer.hpp"
@@ -75,8 +76,14 @@
 #include "models/tgn.hpp"
 
 // Online inference serving
+#include "serve/arrival_source.hpp"
 #include "serve/batch_policy.hpp"
 #include "serve/executor.hpp"
 #include "serve/model_session.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
+
+// Adversarial workload scenarios (the serving gauntlet)
+#include "scenario/access_patterns.hpp"
+#include "scenario/arrival_patterns.hpp"
+#include "scenario/scenario.hpp"

@@ -1,0 +1,153 @@
+#include "scenario/access_patterns.hpp"
+
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "tensor/random.hpp"
+
+namespace dgnn::scenario {
+
+void
+AssignDriftingHotSet(std::vector<serve::Request>& requests,
+                     const DriftingHotSetSpec& spec)
+{
+    DGNN_CHECK(spec.num_nodes > 0, "need positive node count, got ",
+               spec.num_nodes);
+    DGNN_CHECK(spec.hot_nodes > 0 && spec.hot_nodes <= spec.num_nodes,
+               "hot set size must be in [1, num_nodes], got ", spec.hot_nodes);
+    DGNN_CHECK(spec.hot_fraction >= 0.0 && spec.hot_fraction <= 1.0,
+               "hot fraction must be a probability, got ", spec.hot_fraction);
+    DGNN_CHECK(spec.drift_every > 0, "drift interval must be positive, got ",
+               spec.drift_every);
+
+    Rng rng(spec.seed);
+    int64_t hot_start = 0;
+    auto draw = [&]() {
+        if (rng.Bernoulli(spec.hot_fraction)) {
+            const int64_t offset = rng.UniformInt(0, spec.hot_nodes - 1);
+            return (hot_start + offset) % spec.num_nodes;
+        }
+        return rng.UniformInt(0, spec.num_nodes - 1);
+    };
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (i > 0 && static_cast<int64_t>(i) % spec.drift_every == 0) {
+            hot_start = (hot_start + spec.drift_stride) % spec.num_nodes;
+        }
+        requests[i].src = draw();
+        requests[i].dst = draw();
+    }
+}
+
+void
+AssignPreferentialBursts(std::vector<serve::Request>& requests,
+                         const PreferentialBurstSpec& spec)
+{
+    DGNN_CHECK(spec.num_nodes > 0, "need positive node count, got ",
+               spec.num_nodes);
+    DGNN_CHECK(spec.attach_bias >= 0.0 && spec.attach_bias <= 1.0,
+               "attach bias must be a probability, got ", spec.attach_bias);
+    DGNN_CHECK(spec.burst_every > 0, "burst interval must be positive, got ",
+               spec.burst_every);
+    DGNN_CHECK(spec.burst_len >= 0, "burst length must be non-negative, got ",
+               spec.burst_len);
+
+    Rng rng(spec.seed);
+    // Degree-proportional sampling via the endpoint-history trick: picking
+    // a uniform element of the list of all past endpoint occurrences is
+    // exactly degree-weighted.
+    std::vector<int64_t> history;
+    history.reserve(2 * requests.size());
+    auto draw_preferential = [&]() {
+        if (!history.empty() && rng.Bernoulli(spec.attach_bias)) {
+            const auto pick = static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(history.size()) - 1));
+            return history[pick];
+        }
+        return rng.UniformInt(0, spec.num_nodes - 1);
+    };
+    int64_t star = -1;
+    int64_t burst_left = 0;
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (static_cast<int64_t>(i) % spec.burst_every == 0 &&
+            spec.burst_len > 0) {
+            // A "new celebrity" appears: a uniformly cold node every
+            // following request hits for the burst window.
+            star = rng.UniformInt(0, spec.num_nodes - 1);
+            burst_left = spec.burst_len;
+        }
+        if (burst_left > 0) {
+            requests[i].src = star;
+            requests[i].dst = draw_preferential();
+            --burst_left;
+        } else {
+            requests[i].src = draw_preferential();
+            requests[i].dst = draw_preferential();
+        }
+        history.push_back(requests[i].src);
+        history.push_back(requests[i].dst);
+    }
+}
+
+void
+AssignCommunityChurn(std::vector<serve::Request>& requests,
+                     const CommunityChurnSpec& spec)
+{
+    DGNN_CHECK(spec.num_communities > 0, "need positive community count, got ",
+               spec.num_communities);
+    DGNN_CHECK(spec.community_size > 0, "need positive community size, got ",
+               spec.community_size);
+    DGNN_CHECK(spec.in_community >= 0.0 && spec.in_community <= 1.0,
+               "in-community probability must be a probability, got ",
+               spec.in_community);
+    DGNN_CHECK(spec.churn_every > 0, "churn interval must be positive, got ",
+               spec.churn_every);
+
+    Rng rng(spec.seed);
+    const int64_t num_nodes = spec.num_communities * spec.community_size;
+    int64_t active = 0;
+    auto draw = [&]() {
+        if (rng.Bernoulli(spec.in_community)) {
+            return active * spec.community_size +
+                   rng.UniformInt(0, spec.community_size - 1);
+        }
+        return rng.UniformInt(0, num_nodes - 1);
+    };
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (i > 0 && static_cast<int64_t>(i) % spec.churn_every == 0 &&
+            spec.num_communities > 1) {
+            // Jump to a DIFFERENT community — churn must always move, or a
+            // lucky draw would hand the cache a free interval.
+            const int64_t hop = rng.UniformInt(1, spec.num_communities - 1);
+            active = (active + hop) % spec.num_communities;
+        }
+        requests[i].src = draw();
+        requests[i].dst = draw();
+    }
+}
+
+AccessStats
+CharacterizeAccesses(const std::vector<serve::Request>& requests)
+{
+    AccessStats stats;
+    std::unordered_set<int64_t> seen;
+    int64_t refs = 0;
+    int64_t repeats = 0;
+    for (const serve::Request& r : requests) {
+        for (const int64_t node : {r.src, r.dst}) {
+            if (node < 0) {
+                continue;
+            }
+            ++refs;
+            if (!seen.insert(node).second) {
+                ++repeats;
+            }
+        }
+    }
+    stats.unique_nodes = static_cast<int64_t>(seen.size());
+    stats.reuse_fraction =
+        refs > 0 ? static_cast<double>(repeats) / static_cast<double>(refs)
+                 : 0.0;
+    return stats;
+}
+
+}  // namespace dgnn::scenario

@@ -1,0 +1,83 @@
+#pragma once
+
+/// @file
+/// Cache-adversarial node-access shapers. An arrival-pattern generator
+/// decides WHEN requests arrive; a shaper decides WHICH nodes they touch —
+/// it stamps src/dst endpoints onto an already-timed request vector. The
+/// benign baseline (trace replay over data/temporal_interactions) has heavy
+/// repeat-talker locality, which the PR 3 DeviceCache exploits; the shapers
+/// here produce the access regimes that locality assumption breaks under:
+///
+///   * DriftingHotSet      — Zipf-style hot working set whose identity
+///                           rotates every drift_every requests; with
+///                           stride == hot set size each rotation is a
+///                           fully cold set (the classic LRU defeat)
+///   * PreferentialBursts  — degree-proportional attachment (rich get
+///                           richer) punctuated by "new celebrity" bursts
+///                           that hammer a previously cold node
+///   * CommunityChurn      — traffic concentrated in one active community
+///                           that churns to another on a fixed cadence
+///
+/// All shapers are pure functions of (spec, request count): seeded,
+/// deterministic, endpoints in [0, num_nodes).
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace dgnn::scenario {
+
+/// Hot working set that drifts to defeat LRU.
+struct DriftingHotSetSpec {
+    int64_t num_nodes = 4096;
+    int64_t hot_nodes = 64;     ///< size of the hot working set
+    double hot_fraction = 0.9;  ///< probability an endpoint targets the hot set
+    int64_t drift_every = 256;  ///< requests between hot-set rotations
+    /// Node-id shift per rotation; == hot_nodes makes every rotation a
+    /// fully cold set.
+    int64_t drift_stride = 64;
+    uint64_t seed = 1;
+};
+
+void AssignDriftingHotSet(std::vector<serve::Request>& requests,
+                          const DriftingHotSetSpec& spec);
+
+/// Preferential attachment with celebrity bursts.
+struct PreferentialBurstSpec {
+    int64_t num_nodes = 4096;
+    /// Probability an endpoint is drawn degree-proportionally (from the
+    /// history of past endpoints) rather than uniformly.
+    double attach_bias = 0.75;
+    int64_t burst_every = 512;  ///< requests between celebrity bursts
+    int64_t burst_len = 128;    ///< requests per burst
+    uint64_t seed = 1;
+};
+
+void AssignPreferentialBursts(std::vector<serve::Request>& requests,
+                              const PreferentialBurstSpec& spec);
+
+/// Community-concentrated traffic with periodic churn.
+struct CommunityChurnSpec {
+    int64_t num_communities = 16;
+    int64_t community_size = 256;  ///< nodes per community (contiguous ids)
+    double in_community = 0.95;    ///< probability an endpoint stays inside
+                                   ///< the active community
+    int64_t churn_every = 512;     ///< requests between community switches
+    uint64_t seed = 1;
+};
+
+void AssignCommunityChurn(std::vector<serve::Request>& requests,
+                          const CommunityChurnSpec& spec);
+
+/// Endpoint-reuse characterization: unique endpoint count and the fraction
+/// of endpoint references that repeat an endpoint already seen (the
+/// locality a warm cache can exploit). Used by the gauntlet catalog.
+struct AccessStats {
+    int64_t unique_nodes = 0;
+    double reuse_fraction = 0.0;
+};
+
+AccessStats CharacterizeAccesses(const std::vector<serve::Request>& requests);
+
+}  // namespace dgnn::scenario

@@ -1,0 +1,159 @@
+#include "scenario/arrival_patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "tensor/random.hpp"
+
+namespace dgnn::scenario {
+
+namespace {
+
+/// Thinning (Lewis & Shedler): candidates at the envelope rate
+/// @p peak_qps, accepted with probability rate(t)/peak. Exact for any
+/// rate(t) <= peak and deterministic in the Rng draw order.
+template <typename RateFn>
+std::vector<sim::SimTime>
+ThinnedArrivals(double peak_qps, int64_t n, uint64_t seed, RateFn rate_qps_at)
+{
+    DGNN_CHECK(n >= 0, "request count must be non-negative, got ", n);
+    const double peak_per_us = peak_qps / 1e6;
+    Rng rng(seed);
+    std::vector<sim::SimTime> arrivals;
+    arrivals.reserve(static_cast<size_t>(n));
+    sim::SimTime t = 0.0;
+    while (static_cast<int64_t>(arrivals.size()) < n) {
+        t += rng.Exponential(peak_per_us);
+        const double accept = rate_qps_at(t) / peak_qps;
+        if (static_cast<double>(rng.Uniform(0.0f, 1.0f)) <= accept) {
+            arrivals.push_back(t);
+        }
+    }
+    return arrivals;
+}
+
+}  // namespace
+
+std::vector<sim::SimTime>
+DiurnalArrivals(const DiurnalSpec& spec, int64_t n)
+{
+    DGNN_CHECK(spec.base_qps > 0.0, "base rate must be positive, got ",
+               spec.base_qps);
+    DGNN_CHECK(spec.peak_ratio >= 1.0, "peak ratio must be >= 1, got ",
+               spec.peak_ratio);
+    DGNN_CHECK(spec.period_s > 0.0, "period must be positive, got ",
+               spec.period_s);
+    const double amp = (spec.peak_ratio - 1.0) / (spec.peak_ratio + 1.0);
+    const double period_us = spec.period_s * 1e6;
+    const double two_pi = 2.0 * std::acos(-1.0);
+    return ThinnedArrivals(
+        spec.base_qps * (1.0 + amp), n, spec.seed, [&](sim::SimTime t) {
+            return spec.base_qps * (1.0 + amp * std::sin(two_pi * t / period_us));
+        });
+}
+
+std::vector<sim::SimTime>
+FlashCrowdArrivals(const FlashCrowdSpec& spec, int64_t n)
+{
+    DGNN_CHECK(spec.base_qps > 0.0, "base rate must be positive, got ",
+               spec.base_qps);
+    DGNN_CHECK(spec.spike_factor >= 1.0, "spike factor must be >= 1, got ",
+               spec.spike_factor);
+    DGNN_CHECK(spec.spike_duration_s >= 0.0,
+               "spike duration must be non-negative, got ",
+               spec.spike_duration_s);
+    const double start_us = spec.spike_start_s * 1e6;
+    const double end_us = start_us + spec.spike_duration_s * 1e6;
+    return ThinnedArrivals(spec.base_qps * spec.spike_factor, n, spec.seed,
+                           [&](sim::SimTime t) {
+                               const bool in_crowd = t >= start_us && t < end_us;
+                               return in_crowd
+                                          ? spec.base_qps * spec.spike_factor
+                                          : spec.base_qps;
+                           });
+}
+
+std::vector<sim::SimTime>
+MmppArrivals(const MmppSpec& spec, int64_t n)
+{
+    DGNN_CHECK(spec.on_qps > 0.0 && spec.off_qps > 0.0,
+               "MMPP phase rates must be positive");
+    DGNN_CHECK(spec.mean_on_s > 0.0 && spec.mean_off_s > 0.0,
+               "MMPP dwell times must be positive");
+    DGNN_CHECK(n >= 0, "request count must be non-negative, got ", n);
+
+    Rng rng(spec.seed);
+    std::vector<sim::SimTime> arrivals;
+    arrivals.reserve(static_cast<size_t>(n));
+    bool on = true;
+    sim::SimTime t = 0.0;
+    sim::SimTime phase_end = rng.Exponential(1.0 / (spec.mean_on_s * 1e6));
+    while (static_cast<int64_t>(arrivals.size()) < n) {
+        const double rate_per_us = (on ? spec.on_qps : spec.off_qps) / 1e6;
+        const double gap = rng.Exponential(rate_per_us);
+        if (t + gap <= phase_end) {
+            t += gap;
+            arrivals.push_back(t);
+            continue;
+        }
+        // The candidate lands past the phase boundary: move to the
+        // boundary, flip phase, and redraw — exact by memorylessness of
+        // the exponential.
+        t = phase_end;
+        on = !on;
+        const double dwell_us = (on ? spec.mean_on_s : spec.mean_off_s) * 1e6;
+        phase_end = t + rng.Exponential(1.0 / dwell_us);
+    }
+    return arrivals;
+}
+
+ArrivalStats
+CharacterizeArrivals(const std::vector<sim::SimTime>& arrivals,
+                     double window_us)
+{
+    ArrivalStats stats;
+    const auto n = static_cast<int64_t>(arrivals.size());
+    if (n < 2) {
+        return stats;
+    }
+    DGNN_CHECK(window_us > 0.0, "rate window must be positive, got ",
+               window_us);
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int64_t i = 1; i < n; ++i) {
+        const double gap = arrivals[static_cast<size_t>(i)] -
+                           arrivals[static_cast<size_t>(i - 1)];
+        sum += gap;
+        sum_sq += gap * gap;
+    }
+    const double count = static_cast<double>(n - 1);
+    const double mean = sum / count;
+    const double var = std::max(0.0, sum_sq / count - mean * mean);
+    stats.cv_gap = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+
+    // Windowed rate: bucket arrivals into fixed windows over the span.
+    const double span = arrivals.back() - arrivals.front();
+    if (span <= 0.0) {
+        return stats;
+    }
+    const auto num_windows =
+        static_cast<int64_t>(std::ceil(span / window_us));
+    std::vector<int64_t> counts(static_cast<size_t>(num_windows), 0);
+    for (const sim::SimTime t : arrivals) {
+        auto w = static_cast<int64_t>((t - arrivals.front()) / window_us);
+        w = std::min(w, num_windows - 1);
+        ++counts[static_cast<size_t>(w)];
+    }
+    int64_t peak = 0;
+    for (const int64_t c : counts) {
+        peak = std::max(peak, c);
+    }
+    const double mean_per_window =
+        static_cast<double>(n) / static_cast<double>(num_windows);
+    stats.peak_to_mean = static_cast<double>(peak) / mean_per_window;
+    return stats;
+}
+
+}  // namespace dgnn::scenario

@@ -1,0 +1,55 @@
+#include "serve/arrival_source.hpp"
+
+#include "support/check.hpp"
+
+namespace dgnn::serve {
+
+PoissonSource::PoissonSource(double rate_qps, uint64_t seed)
+    : rate_qps_(rate_qps), seed_(seed)
+{
+    DGNN_CHECK(rate_qps_ > 0.0, "arrival rate must be positive, got ",
+               rate_qps_);
+}
+
+std::string
+PoissonSource::Name() const
+{
+    return "poisson(" + std::to_string(static_cast<int64_t>(rate_qps_)) +
+           "qps)";
+}
+
+std::vector<Request>
+PoissonSource::Generate(int64_t n) const
+{
+    const std::vector<sim::SimTime> arrivals =
+        PoissonArrivals(rate_qps_, n, seed_);
+    std::vector<Request> requests;
+    requests.reserve(arrivals.size());
+    for (int64_t i = 0; i < n; ++i) {
+        requests.push_back(Request{i, arrivals[static_cast<size_t>(i)]});
+    }
+    return requests;
+}
+
+TraceReplaySource::TraceReplaySource(const graph::EventStream& stream,
+                                     double target_qps)
+    : stream_(stream), target_qps_(target_qps)
+{
+    DGNN_CHECK(target_qps_ > 0.0, "target rate must be positive, got ",
+               target_qps_);
+}
+
+std::string
+TraceReplaySource::Name() const
+{
+    return "trace-replay(" + std::to_string(static_cast<int64_t>(target_qps_)) +
+           "qps)";
+}
+
+std::vector<Request>
+TraceReplaySource::Generate(int64_t n) const
+{
+    return TraceRequests(stream_, target_qps_, n);
+}
+
+}  // namespace dgnn::serve

@@ -1,0 +1,71 @@
+#pragma once
+
+/// @file
+/// The arrival-source interface: a pluggable producer of request streams
+/// for the serving loop. PR 2 hard-wired two generators (Poisson and
+/// trace-replay) as free functions; this extraction turns "where do
+/// requests come from" into a first-class seam so adversarial scenario
+/// generators (src/scenario/) can drive the server through exactly the
+/// same entry points as the benign processes.
+///
+/// Contract: Generate(n) is a pure function of the source's construction
+/// state — calling it twice returns bit-identical streams, and two sources
+/// built with the same parameters agree. That determinism is what makes
+/// the serving gauntlet's committed outputs and BENCH_*.json trajectory
+/// diffable across machines.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/event_stream.hpp"
+#include "serve/request.hpp"
+
+namespace dgnn::serve {
+
+/// Produces deterministic request streams on demand.
+class ArrivalSource {
+  public:
+    virtual ~ArrivalSource() = default;
+
+    /// Stable display name (scenario/process identifier for reports).
+    virtual std::string Name() const = 0;
+
+    /// @p n requests with sorted, non-negative relative arrival timestamps.
+    /// Node-blind sources leave src/dst at -1. Deterministic: repeated
+    /// calls return identical streams.
+    virtual std::vector<Request> Generate(int64_t n) const = 0;
+};
+
+/// The classic open-loop load model: exponential inter-arrival gaps at a
+/// fixed rate, node-blind. Wraps PoissonArrivals.
+class PoissonSource final : public ArrivalSource {
+  public:
+    PoissonSource(double rate_qps, uint64_t seed);
+
+    std::string Name() const override;
+    std::vector<Request> Generate(int64_t n) const override;
+
+  private:
+    double rate_qps_;
+    uint64_t seed_;
+};
+
+/// Replays a graph::EventStream's inter-arrival gaps (rescaled to a target
+/// mean rate) together with each replayed event's endpoints, so recurrent
+/// nodes reappear across batches. Wraps TraceRequests.
+class TraceReplaySource final : public ArrivalSource {
+  public:
+    /// @p stream is borrowed and must outlive the source.
+    TraceReplaySource(const graph::EventStream& stream, double target_qps);
+
+    std::string Name() const override;
+    std::vector<Request> Generate(int64_t n) const override;
+
+  private:
+    const graph::EventStream& stream_;
+    double target_qps_;
+};
+
+}  // namespace dgnn::serve

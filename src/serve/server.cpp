@@ -46,6 +46,13 @@ Serve(ModelSession& session, BatchPolicy& policy,
 }
 
 ServingReport
+Serve(ModelSession& session, BatchPolicy& policy, const ArrivalSource& source,
+      int64_t n, const ServerOptions& options)
+{
+    return ServeRequests(session, policy, source.Generate(n), options);
+}
+
+ServingReport
 ServeRequests(ModelSession& session, BatchPolicy& policy,
               const std::vector<Request>& requests, const ServerOptions& options)
 {

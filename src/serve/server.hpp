@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/latency_histogram.hpp"
+#include "serve/arrival_source.hpp"
 #include "serve/batch_policy.hpp"
 #include "serve/executor.hpp"
 #include "serve/model_session.hpp"
@@ -91,6 +92,12 @@ ServingReport Serve(ModelSession& session, BatchPolicy& policy,
 ServingReport ServeRequests(ModelSession& session, BatchPolicy& policy,
                             const std::vector<Request>& requests,
                             const ServerOptions& options);
+
+/// Source-driven entry: generates @p n requests from @p source and serves
+/// them. The ArrivalSource seam (scenario generators plug in here).
+ServingReport Serve(ModelSession& session, BatchPolicy& policy,
+                    const ArrivalSource& source, int64_t n,
+                    const ServerOptions& options);
 
 /// Result of the sustained-throughput search.
 struct QpsSearchResult {

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
 #include "support/check.hpp"
 
 #include "cache/device_cache.hpp"
@@ -500,6 +504,192 @@ TEST(ServingCacheTest, MixedBlindBatchesStillChargeBlindStateMovement)
     EXPECT_GE(mixed.h2d_bytes, full.h2d_bytes);
     EXPECT_LT(mixed.cache_stats.lookups, full.cache_stats.lookups);
     EXPECT_GT(mixed.cache_stats.lookups, 0);
+}
+
+// ----------------------------------------- randomized invariant checking
+
+/// Independent reference model of the DeviceCache contract, built on a
+/// vector (not the cache's intrusive list) so a shared bug can't hide in a
+/// shared data structure. Victim = front of `order`; LRU promotes touched
+/// rows to the back, FIFO never promotes. `episodes` counts clean->dirty
+/// transitions — the conservation law says every such episode is paid for
+/// by exactly one write-back (dirty eviction, mid-run flush, or the final
+/// flush), so after a final FlushDirty, writebacks == episodes.
+struct ReferenceCache {
+    int64_t capacity_rows = 0;
+    bool lru = true;
+    std::vector<int64_t> order;
+    std::unordered_map<int64_t, bool> dirty;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+    int64_t writebacks = 0;
+    int64_t episodes = 0;
+
+    void Touch(int64_t key, bool mark_dirty)
+    {
+        const auto it = dirty.find(key);
+        if (it != dirty.end()) {
+            ++hits;
+            if (mark_dirty && !it->second) {
+                it->second = true;
+                ++episodes;
+            }
+            if (lru) {
+                order.erase(std::find(order.begin(), order.end(), key));
+                order.push_back(key);
+            }
+            return;
+        }
+        ++misses;
+        if (capacity_rows == 0) {
+            if (mark_dirty) {
+                // Mutated but unretainable: a degenerate dirty episode,
+                // opened and paid for in the same lookup.
+                ++writebacks;
+                ++episodes;
+            }
+            return;
+        }
+        while (static_cast<int64_t>(order.size()) >= capacity_rows) {
+            const int64_t victim = order.front();
+            order.erase(order.begin());
+            if (dirty.at(victim)) {
+                ++writebacks;
+            }
+            dirty.erase(victim);
+            ++evictions;
+        }
+        order.push_back(key);
+        dirty.emplace(key, mark_dirty);
+        ++insertions;
+        if (mark_dirty) {
+            ++episodes;
+        }
+    }
+
+    void MarkDirty(int64_t key)
+    {
+        const auto it = dirty.find(key);
+        if (it != dirty.end() && !it->second) {
+            it->second = true;
+            ++episodes;
+        }
+    }
+
+    int64_t Flush()
+    {
+        int64_t flushed = 0;
+        for (auto& [key, is_dirty] : dirty) {
+            if (is_dirty) {
+                is_dirty = false;
+                ++flushed;
+            }
+        }
+        writebacks += flushed;
+        return flushed;
+    }
+};
+
+void
+RunRandomizedCacheTrial(EvictionPolicy policy, int64_t capacity_rows,
+                        uint64_t seed, int64_t num_ops)
+{
+    const int64_t row_bytes = 64;
+    DeviceCache cache(Config(capacity_rows, policy, row_bytes));
+    ReferenceCache ref;
+    ref.capacity_rows = cache.CapacityRows();
+    ref.lru = policy == EvictionPolicy::kLru;
+
+    Rng rng(seed);
+    // Skewed key mix: most draws from a hot pool ~1.5x capacity (real
+    // eviction churn), the rest from a wide cold range.
+    auto draw_key = [&]() {
+        if (rng.Bernoulli(0.7)) {
+            return rng.UniformInt(0, std::max<int64_t>(capacity_rows, 1) * 3 / 2);
+        }
+        return rng.UniformInt(0, 499);
+    };
+
+    for (int64_t op = 0; op < num_ops; ++op) {
+        const int64_t kind = rng.UniformInt(0, 19);
+        if (kind < 16) {  // Gather, sometimes dirty
+            const int64_t batch = rng.UniformInt(1, 12);
+            const bool mark_dirty = rng.Bernoulli(0.4);
+            std::vector<int64_t> keys;
+            for (int64_t i = 0; i < batch; ++i) {
+                keys.push_back(draw_key());  // duplicates allowed on purpose
+            }
+            const GatherResult result = cache.Gather(keys, mark_dirty);
+            const int64_t hits_before = ref.hits;
+            const int64_t misses_before = ref.misses;
+            const int64_t writebacks_before = ref.writebacks;
+            for (const int64_t key : keys) {
+                ref.Touch(key, mark_dirty);
+            }
+            ASSERT_EQ(result.hit_rows, ref.hits - hits_before);
+            ASSERT_EQ(result.miss_rows, ref.misses - misses_before);
+            ASSERT_EQ(result.writeback_rows,
+                      ref.writebacks - writebacks_before);
+        } else if (kind < 18) {  // MarkDirty a few (possibly absent) keys
+            std::vector<int64_t> keys = {draw_key(), draw_key()};
+            cache.MarkDirty(keys);
+            for (const int64_t key : keys) {
+                ref.MarkDirty(key);
+            }
+        } else if (kind == 18) {  // mid-run flush
+            ASSERT_EQ(cache.FlushDirty(), ref.Flush());
+        } else {  // probe Contains on a sample key
+            const int64_t key = draw_key();
+            ASSERT_EQ(cache.Contains(key), ref.dirty.count(key) > 0);
+        }
+
+        // Hard invariants after EVERY operation.
+        ASSERT_LE(cache.ResidentBytes(), capacity_rows * row_bytes);
+        ASSERT_EQ(cache.ResidentRows(),
+                  static_cast<int64_t>(ref.order.size()));
+        const cache::CacheStats& stats = cache.Stats();
+        ASSERT_EQ(stats.hits, ref.hits);
+        ASSERT_EQ(stats.misses, ref.misses);
+        ASSERT_EQ(stats.lookups, ref.hits + ref.misses);
+        ASSERT_EQ(stats.insertions, ref.insertions);
+        ASSERT_EQ(stats.evictions, ref.evictions);
+        ASSERT_EQ(stats.writeback_rows, ref.writebacks);
+        ASSERT_EQ(stats.hit_bytes, ref.hits * row_bytes);
+        ASSERT_EQ(stats.miss_bytes, ref.misses * row_bytes);
+    }
+
+    // Recency/eviction order must agree exactly, not just in cardinality:
+    // every reference-resident key is resident in the cache too.
+    for (const int64_t key : ref.order) {
+        EXPECT_TRUE(cache.Contains(key));
+    }
+
+    // Conservation: drain the dirty set; every clean->dirty episode must
+    // have paid exactly one write-back by now — no lost or double syncs.
+    ASSERT_EQ(cache.FlushDirty(), ref.Flush());
+    EXPECT_EQ(cache.Stats().writeback_rows, ref.episodes);
+    EXPECT_EQ(cache.FlushDirty(), 0);  // idempotent once drained
+}
+
+TEST(DeviceCacheRandomizedTest, LruMatchesReferenceModelOverRandomOps)
+{
+    RunRandomizedCacheTrial(EvictionPolicy::kLru, 32, 12345, 3000);
+}
+
+TEST(DeviceCacheRandomizedTest, FifoMatchesReferenceModelOverRandomOps)
+{
+    RunRandomizedCacheTrial(EvictionPolicy::kFifo, 32, 54321, 3000);
+}
+
+TEST(DeviceCacheRandomizedTest, TinyAndDisabledCapacitiesStayConsistent)
+{
+    // Capacity 1 maximizes eviction churn; capacity 0 exercises the
+    // unretained-dirty write-back path on every mutating miss.
+    RunRandomizedCacheTrial(EvictionPolicy::kLru, 1, 99, 1500);
+    RunRandomizedCacheTrial(EvictionPolicy::kFifo, 1, 98, 1500);
+    RunRandomizedCacheTrial(EvictionPolicy::kLru, 0, 97, 1500);
 }
 
 TEST(ServingCacheTest, NodeBlindArrivalsFallBackToProbeStateVolume)

@@ -434,6 +434,53 @@ TEST(LatencyHistogramTest, MergeMatchesCombinedRecording)
     EXPECT_THROW(low.Merge(other_layout), Error);
 }
 
+TEST(LatencyHistogramTest, MergePreservesTotalsWithOverflowAndEmpties)
+{
+    // Conservation under every merge direction: Count, OverflowCount, and
+    // the sample sum (via Mean * Count) must all be additive — including
+    // when one side is empty or both sides clamp samples above the ceiling.
+    LatencyHistogram a(1.0, 1000.0, 1.5);
+    a.Record(5.0);
+    a.Record(700.0);
+    a.Record(4000.0);  // overflow
+    LatencyHistogram b(1.0, 1000.0, 1.5);
+    b.Record(30.0);
+    b.Record(2e6);  // overflow
+    b.Record(9e6);  // overflow
+    const double sum_a = a.Mean() * static_cast<double>(a.Count());
+    const double sum_b = b.Mean() * static_cast<double>(b.Count());
+
+    // Empty into non-empty: a no-op on every total.
+    a.Merge(LatencyHistogram(1.0, 1000.0, 1.5));
+    EXPECT_EQ(a.Count(), 3);
+    EXPECT_EQ(a.OverflowCount(), 1);
+    EXPECT_DOUBLE_EQ(a.Mean() * 3.0, sum_a);
+
+    // Non-empty into empty: the empty side adopts a's totals exactly.
+    LatencyHistogram adopted(1.0, 1000.0, 1.5);
+    adopted.Merge(a);
+    EXPECT_EQ(adopted.Count(), 3);
+    EXPECT_EQ(adopted.OverflowCount(), 1);
+    EXPECT_DOUBLE_EQ(adopted.Min(), a.Min());
+    EXPECT_DOUBLE_EQ(adopted.Max(), a.Max());
+    EXPECT_DOUBLE_EQ(adopted.Mean(), a.Mean());
+    EXPECT_DOUBLE_EQ(adopted.P99(), a.P99());
+
+    // Empty into empty stays empty.
+    LatencyHistogram still_empty(1.0, 1000.0, 1.5);
+    still_empty.Merge(LatencyHistogram(1.0, 1000.0, 1.5));
+    EXPECT_TRUE(still_empty.Empty());
+    EXPECT_EQ(still_empty.OverflowCount(), 0);
+
+    // Overflow counts and sums are additive across a real merge.
+    a.Merge(b);
+    EXPECT_EQ(a.Count(), 6);
+    EXPECT_EQ(a.OverflowCount(), 3);
+    EXPECT_DOUBLE_EQ(a.Mean() * 6.0, sum_a + sum_b);
+    EXPECT_DOUBLE_EQ(a.Min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.Max(), 9e6);
+}
+
 TEST(RunningStatTest, TracksMinMeanMaxAndMerges)
 {
     RunningStat s;

@@ -1,0 +1,398 @@
+// Tests for the adversarial scenario subsystem: seed determinism of every
+// generator (the property the committed gauntlet outputs and the
+// BENCH_*.json trajectory depend on), the statistical signatures each
+// regime must show (burstiness, rate peaks, locality), the access-shaper
+// regimes, the scenario registry, and the BenchJsonWriter's stable
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bench_json_writer.hpp"
+#include "data/temporal_interactions.hpp"
+#include "scenario/scenario.hpp"
+#include "support/check.hpp"
+
+namespace dgnn::scenario {
+namespace {
+
+data::InteractionDataset
+TinyInteractions()
+{
+    data::InteractionSpec spec;
+    spec.name = "tiny";
+    spec.num_users = 24;
+    spec.num_items = 8;
+    spec.num_events = 300;
+    spec.edge_feature_dim = 4;
+    spec.seed = 5;
+    return data::GenerateInteractions(spec);
+}
+
+void
+ExpectSameRequests(const std::vector<serve::Request>& a,
+                   const std::vector<serve::Request>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);  // bit-identical
+        EXPECT_EQ(a[i].src, b[i].src);
+        EXPECT_EQ(a[i].dst, b[i].dst);
+    }
+}
+
+bool
+SameEndpoints(const std::vector<serve::Request>& a,
+              const std::vector<serve::Request>& b)
+{
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].src != b[i].src || a[i].dst != b[i].dst) {
+            return false;
+        }
+    }
+    return true;
+}
+
+// ------------------------------------------------------- arrival patterns
+
+TEST(ArrivalPatternsTest, DiurnalIsSeedDeterministicSortedAndCyclic)
+{
+    DiurnalSpec spec;
+    spec.base_qps = 2000.0;
+    spec.peak_ratio = 6.0;
+    spec.period_s = 0.5;
+    spec.seed = 11;
+
+    const auto a = DiurnalArrivals(spec, 2000);
+    const auto b = DiurnalArrivals(spec, 2000);
+    ASSERT_EQ(a.size(), 2000u);
+    EXPECT_EQ(a, b);  // bit-identical for a fixed seed
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+
+    spec.seed = 12;
+    EXPECT_NE(a, DiurnalArrivals(spec, 2000));  // seed matters
+
+    // The rate cycle must be visible: windowed peak rate well above the
+    // mean (a homogeneous Poisson at this n stays near 1).
+    const ArrivalStats stats = CharacterizeArrivals(a, 50000.0);
+    EXPECT_GT(stats.peak_to_mean, 1.3);
+}
+
+TEST(ArrivalPatternsTest, FlashCrowdIsSeedDeterministicWithDenseWindow)
+{
+    FlashCrowdSpec spec;
+    spec.base_qps = 1000.0;
+    spec.spike_factor = 16.0;
+    spec.spike_start_s = 0.3;
+    spec.spike_duration_s = 0.2;
+    spec.seed = 21;
+
+    const auto a = FlashCrowdArrivals(spec, 1500);
+    const auto b = FlashCrowdArrivals(spec, 1500);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+
+    spec.seed = 22;
+    EXPECT_NE(a, FlashCrowdArrivals(spec, 1500));
+
+    // The crowd window concentrates arrivals: gaps are far more variable
+    // than Poisson (CV 1) and the windowed peak dwarfs the mean.
+    const ArrivalStats stats = CharacterizeArrivals(a, 50000.0);
+    EXPECT_GT(stats.cv_gap, 1.3);
+    EXPECT_GT(stats.peak_to_mean, 3.0);
+}
+
+TEST(ArrivalPatternsTest, MmppIsSeedDeterministicAndBursty)
+{
+    MmppSpec spec;
+    spec.on_qps = 5000.0;
+    spec.off_qps = 200.0;
+    spec.mean_on_s = 0.05;
+    spec.mean_off_s = 0.2;
+    spec.seed = 31;
+
+    const auto a = MmppArrivals(spec, 2000);
+    const auto b = MmppArrivals(spec, 2000);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+
+    spec.seed = 32;
+    EXPECT_NE(a, MmppArrivals(spec, 2000));
+
+    // ON/OFF modulation makes inter-arrival gaps over-dispersed.
+    const ArrivalStats stats = CharacterizeArrivals(a, 50000.0);
+    EXPECT_GT(stats.cv_gap, 1.2);
+}
+
+TEST(ArrivalPatternsTest, InvalidSpecsThrow)
+{
+    DiurnalSpec diurnal;
+    diurnal.peak_ratio = 0.5;  // < 1
+    EXPECT_THROW(DiurnalArrivals(diurnal, 10), Error);
+
+    FlashCrowdSpec flash;
+    flash.base_qps = 0.0;
+    EXPECT_THROW(FlashCrowdArrivals(flash, 10), Error);
+
+    MmppSpec mmpp;
+    mmpp.mean_on_s = 0.0;
+    EXPECT_THROW(MmppArrivals(mmpp, 10), Error);
+}
+
+TEST(ArrivalPatternsTest, CharacterizeUniformSpacingIsFlat)
+{
+    std::vector<sim::SimTime> uniform;
+    for (int i = 0; i < 100; ++i) {
+        uniform.push_back(1000.0 * i);
+    }
+    const ArrivalStats stats = CharacterizeArrivals(uniform, 10000.0);
+    EXPECT_NEAR(stats.cv_gap, 0.0, 1e-9);
+    EXPECT_NEAR(stats.peak_to_mean, 1.0, 0.1);
+    // Degenerate inputs do not blow up.
+    EXPECT_EQ(CharacterizeArrivals({}, 1000.0).cv_gap, 0.0);
+    EXPECT_EQ(CharacterizeArrivals({5.0}, 1000.0).peak_to_mean, 0.0);
+}
+
+// -------------------------------------------------------- access patterns
+
+std::vector<serve::Request>
+TimedRequests(int64_t n)
+{
+    std::vector<serve::Request> requests;
+    for (int64_t i = 0; i < n; ++i) {
+        requests.push_back(serve::Request{i, static_cast<double>(i) * 100.0});
+    }
+    return requests;
+}
+
+TEST(AccessPatternsTest, DriftingHotSetIsSeedDeterministicAndDrifts)
+{
+    DriftingHotSetSpec spec;
+    spec.num_nodes = 1000;
+    spec.hot_nodes = 50;
+    spec.hot_fraction = 0.9;
+    spec.drift_every = 200;
+    spec.drift_stride = 50;
+    spec.seed = 41;
+
+    auto a = TimedRequests(800);
+    auto b = TimedRequests(800);
+    AssignDriftingHotSet(a, spec);
+    AssignDriftingHotSet(b, spec);
+    EXPECT_TRUE(SameEndpoints(a, b));
+
+    auto c = TimedRequests(800);
+    spec.seed = 42;
+    AssignDriftingHotSet(c, spec);
+    EXPECT_FALSE(SameEndpoints(a, c));
+    spec.seed = 41;
+
+    auto in_window = [&](const serve::Request& r, int64_t lo, int64_t hi) {
+        return (r.src >= lo && r.src < hi) && (r.dst >= lo && r.dst < hi);
+    };
+    // First interval: traffic concentrates on hot set [0, 50); after the
+    // first rotation the hot set has moved to [50, 100).
+    int64_t first_hot = 0;
+    int64_t second_hot = 0;
+    for (int64_t i = 0; i < 200; ++i) {
+        first_hot += in_window(a[static_cast<size_t>(i)], 0, 50) ? 1 : 0;
+        second_hot += in_window(a[static_cast<size_t>(200 + i)], 50, 100) ? 1 : 0;
+    }
+    EXPECT_GT(first_hot, 120);   // ~0.81 * 200 expected (both endpoints hot)
+    EXPECT_GT(second_hot, 120);  // the set DID drift
+    for (const serve::Request& r : a) {
+        EXPECT_GE(r.src, 0);
+        EXPECT_LT(r.src, spec.num_nodes);
+        EXPECT_GE(r.dst, 0);
+        EXPECT_LT(r.dst, spec.num_nodes);
+    }
+}
+
+TEST(AccessPatternsTest, PreferentialBurstsHammerAStarNode)
+{
+    PreferentialBurstSpec spec;
+    spec.num_nodes = 500;
+    spec.attach_bias = 0.8;
+    spec.burst_every = 300;
+    spec.burst_len = 40;
+    spec.seed = 51;
+
+    auto a = TimedRequests(600);
+    auto b = TimedRequests(600);
+    AssignPreferentialBursts(a, spec);
+    AssignPreferentialBursts(b, spec);
+    EXPECT_TRUE(SameEndpoints(a, b));
+
+    auto c = TimedRequests(600);
+    spec.seed = 52;
+    AssignPreferentialBursts(c, spec);
+    EXPECT_FALSE(SameEndpoints(a, c));
+
+    // Every request of a burst window shares the same (fresh) star src.
+    for (int64_t start : {int64_t{0}, int64_t{300}}) {
+        const int64_t star = a[static_cast<size_t>(start)].src;
+        for (int64_t i = start; i < start + 40; ++i) {
+            EXPECT_EQ(a[static_cast<size_t>(i)].src, star);
+        }
+    }
+    // Preferential attachment concentrates endpoints: far fewer unique
+    // nodes than uniform sampling would touch (~1200 draws over 500 nodes
+    // uniformly covers ~450).
+    const AccessStats stats = CharacterizeAccesses(a);
+    EXPECT_LT(stats.unique_nodes, 350);
+    EXPECT_GT(stats.reuse_fraction, 0.5);
+}
+
+TEST(AccessPatternsTest, CommunityChurnMovesTheActiveCommunity)
+{
+    CommunityChurnSpec spec;
+    spec.num_communities = 10;
+    spec.community_size = 100;
+    spec.in_community = 0.95;
+    spec.churn_every = 250;
+    spec.seed = 61;
+
+    auto a = TimedRequests(1000);
+    auto b = TimedRequests(1000);
+    AssignCommunityChurn(a, spec);
+    AssignCommunityChurn(b, spec);
+    EXPECT_TRUE(SameEndpoints(a, b));
+
+    auto c = TimedRequests(1000);
+    spec.seed = 62;
+    AssignCommunityChurn(c, spec);
+    EXPECT_FALSE(SameEndpoints(a, c));
+
+    // Interval 0 concentrates in community 0 ([0, 100)); the churn at
+    // request 250 must move the bulk of traffic OUT of community 0.
+    auto in_first_community = [&](const serve::Request& r) {
+        return r.src < 100 && r.dst < 100;
+    };
+    int64_t first = 0;
+    int64_t second = 0;
+    for (int64_t i = 0; i < 250; ++i) {
+        first += in_first_community(a[static_cast<size_t>(i)]) ? 1 : 0;
+        second += in_first_community(a[static_cast<size_t>(250 + i)]) ? 1 : 0;
+    }
+    EXPECT_GT(first, 200);  // ~0.90 * 250 expected in community 0
+    EXPECT_LT(second, 50);  // the active community churned away
+}
+
+// ------------------------------------------------- scenarios and registry
+
+TEST(ScenarioTest, EveryRegistryScenarioIsSeedDeterministic)
+{
+    const auto dataset = TinyInteractions();
+    const auto scenarios =
+        GauntletScenarios(2000.0, 512, dataset.NumNodes(), 77);
+    ASSERT_GE(scenarios.size(), 5u);
+
+    for (const Scenario& s : scenarios) {
+        SCOPED_TRACE(s.name);
+        const auto a = GenerateRequests(s, dataset, 512);
+        const auto b = GenerateRequests(s, dataset, 512);
+        ExpectSameRequests(a, b);  // guards the BENCH_*.json trajectory
+
+        ASSERT_EQ(a.size(), 512u);
+        EXPECT_TRUE(std::is_sorted(
+            a.begin(), a.end(), [](const serve::Request& x,
+                                   const serve::Request& y) {
+                return x.arrival_us < y.arrival_us;
+            }));
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].id, static_cast<int64_t>(i));
+            EXPECT_GE(a[i].src, 0);  // every gauntlet scenario is node-aware
+            EXPECT_GE(a[i].dst, 0);
+        }
+    }
+}
+
+TEST(ScenarioTest, DifferentRegistrySeedsDiffer)
+{
+    const auto dataset = TinyInteractions();
+    const auto s77 = GauntletScenarios(2000.0, 256, dataset.NumNodes(), 77);
+    const auto s78 = GauntletScenarios(2000.0, 256, dataset.NumNodes(), 78);
+    ASSERT_EQ(s77.size(), s78.size());
+    // Arrival times must differ under a different seed for every scenario.
+    for (size_t i = 0; i < s77.size(); ++i) {
+        SCOPED_TRACE(s77[i].name);
+        const auto a = GenerateRequests(s77[i], dataset, 256);
+        const auto b = GenerateRequests(s78[i], dataset, 256);
+        bool same_times = true;
+        for (size_t j = 0; j < a.size(); ++j) {
+            same_times = same_times && a[j].arrival_us == b[j].arrival_us;
+        }
+        EXPECT_FALSE(same_times);
+    }
+}
+
+TEST(ScenarioTest, ScenarioSourceMatchesGenerateRequests)
+{
+    const auto dataset = TinyInteractions();
+    const auto scenarios =
+        GauntletScenarios(2000.0, 128, dataset.NumNodes(), 7);
+    const Scenario& s = scenarios.front();
+    const ScenarioSource source(s, dataset);
+    EXPECT_EQ(source.Name(), s.name);
+    ExpectSameRequests(source.Generate(128),
+                       GenerateRequests(s, dataset, 128));
+    // The ArrivalSource contract: repeated Generate calls are identical.
+    ExpectSameRequests(source.Generate(64), source.Generate(64));
+}
+
+TEST(ScenarioTest, RegistryNamesAreUniqueAndStable)
+{
+    const auto dataset = TinyInteractions();
+    const auto scenarios =
+        GauntletScenarios(2000.0, 256, dataset.NumNodes(), 1);
+    std::vector<std::string> names;
+    for (const Scenario& s : scenarios) {
+        names.push_back(s.name);
+    }
+    auto sorted = names;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+    // The gauntlet's regression gate keys records by these names — renames
+    // break trajectory comparisons, so treat this list as an API.
+    EXPECT_EQ(names.front(), "poisson/recurrent");
+    EXPECT_TRUE(std::find(names.begin(), names.end(),
+                          "poisson/hotset-drift") != names.end());
+}
+
+// ----------------------------------------------------- bench JSON writer
+
+TEST(BenchJsonWriterTest, EmitsStableSchemaAndEscapes)
+{
+    core::BenchJsonWriter json("unit_test", 3);
+    json.BeginRecord();
+    json.Field("name", std::string("a\"b\\c\nd"));
+    json.Field("count", int64_t{42});
+    json.Field("ratio", 0.123456, 4);
+    json.BeginRecord();
+    json.Field("name", "second");
+    EXPECT_EQ(json.RecordCount(), 2);
+    EXPECT_EQ(json.ToString(),
+              "{\"bench\": \"unit_test\", \"schema\": 3, \"records\": [\n"
+              "  {\"name\": \"a\\\"b\\\\c\\nd\", \"count\": 42, "
+              "\"ratio\": 0.1235},\n"
+              "  {\"name\": \"second\"}\n"
+              "]}\n");
+
+    core::BenchJsonWriter empty("empty");
+    EXPECT_EQ(empty.ToString(),
+              "{\"bench\": \"empty\", \"schema\": 1, \"records\": []}\n");
+
+    EXPECT_THROW(core::BenchJsonWriter(""), Error);
+    core::BenchJsonWriter no_record("x");
+    EXPECT_THROW(no_record.Field("k", int64_t{1}), Error);
+}
+
+}  // namespace
+}  // namespace dgnn::scenario
