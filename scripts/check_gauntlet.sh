@@ -2,8 +2,9 @@
 # Runs the serving gauntlet and verifies both of its artifacts:
 #   1. the text summary is byte-identical to docs/expected/
 #      bench_serving_gauntlet.txt (the determinism gate), and
-#   2. BENCH_serving_gauntlet.json is valid JSON that compare_bench.py
-#      accepts and self-diffs clean (the trajectory-tooling gate).
+#   2. BENCH_serving_gauntlet.json passes compare_bench.py against the
+#      committed baseline docs/expected/BENCH_serving_gauntlet.json
+#      (the cross-PR perf-trajectory gate).
 # Registered as the `serving_gauntlet_diff` CTest (label: gauntlet).
 #
 # Usage: check_gauntlet.sh <bench-binary> <workdir>
@@ -22,10 +23,11 @@ diff -u "$repo/docs/expected/bench_serving_gauntlet.txt" \
 
 if command -v python3 > /dev/null; then
     python3 -c "import json; json.load(open('BENCH_serving_gauntlet.json'))"
-    "$repo/scripts/compare_bench.py" BENCH_serving_gauntlet.json \
+    "$repo/scripts/compare_bench.py" \
+        "$repo/docs/expected/BENCH_serving_gauntlet.json" \
         BENCH_serving_gauntlet.json > /dev/null
 else
     echo "note: python3 not found; skipped JSON validation"
 fi
 
-echo "serving gauntlet matches docs/expected/ and the JSON artifact is valid"
+echo "serving gauntlet matches docs/expected/ and the JSON baseline"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the serving observability bench and verifies its artifacts:
+#   1. the text summary (span ledger, attribution sweep, windowed series,
+#      Prometheus exposition, verdict) is byte-identical to
+#      docs/expected/bench_serving_observability.txt, and
+#   2. BENCH_serving_observability.json passes scripts/compare_bench.py
+#      against the committed baseline docs/expected/
+#      BENCH_serving_observability.json (the cross-PR trajectory gate).
+# Registered as the `serving_observability_diff` CTest (label: obs).
+#
+# Usage: check_observability.sh <bench-binary> <workdir>
+set -euo pipefail
+
+bench=$1
+workdir=$2
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+mkdir -p "$workdir"
+cd "$workdir"
+
+"$bench" > bench_serving_observability.txt
+diff -u "$repo/docs/expected/bench_serving_observability.txt" \
+    bench_serving_observability.txt
+
+if command -v python3 > /dev/null; then
+    python3 -c "import json; json.load(open('BENCH_serving_observability.json'))"
+    "$repo/scripts/compare_bench.py" \
+        "$repo/docs/expected/BENCH_serving_observability.json" \
+        BENCH_serving_observability.json > /dev/null
+else
+    echo "note: python3 not found; skipped JSON validation"
+fi
+
+echo "serving observability matches docs/expected/ and the JSON baseline"

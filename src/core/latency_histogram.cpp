@@ -132,12 +132,29 @@ RunningStat::Record(double value)
     }
     sum_ += value;
     ++count_;
+    // Welford: update the running mean first, then accumulate the product of
+    // the deviations from the old and new means.
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
 }
 
 double
 RunningStat::Mean() const
 {
     return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStat::Variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStat::StdDev() const
+{
+    return std::sqrt(Variance());
 }
 
 void
@@ -147,12 +164,18 @@ RunningStat::Merge(const RunningStat& other)
         return;
     }
     if (count_ == 0) {
-        min_ = other.min_;
-        max_ = other.max_;
-    } else {
-        min_ = std::min(min_, other.min_);
-        max_ = std::max(max_, other.max_);
+        *this = other;
+        return;
     }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    // Parallel-variance combination (Chan et al.): the cross term accounts
+    // for the two partitions' means disagreeing.
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
     sum_ += other.sum_;
     count_ += other.count_;
 }

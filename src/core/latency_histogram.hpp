@@ -75,16 +75,26 @@ class LatencyHistogram {
     double max_ = 0.0;
 };
 
-/// Running count/min/mean/max over a scalar series (queue depths, batch
-/// sizes). O(1) memory, mergeable.
+/// Running count/min/mean/max/variance over a scalar series (queue depths,
+/// batch sizes, jitter gauges). O(1) memory, mergeable. Variance uses
+/// Welford's online update, so it is numerically stable even when the mean
+/// dwarfs the spread; Merge combines the M2 accumulators with the parallel
+/// (Chan et al.) formula, so split streams reduce to the same moments as
+/// one combined stream.
 class RunningStat {
   public:
     void Record(double value);
 
     int64_t Count() const { return count_; }
+    double Sum() const { return sum_; }
     double Min() const { return count_ > 0 ? min_ : 0.0; }
     double Max() const { return count_ > 0 ? max_ : 0.0; }
     double Mean() const;
+
+    /// Population variance (M2 / n); 0 with fewer than two samples.
+    double Variance() const;
+    /// sqrt(Variance()) — the jitter gauge.
+    double StdDev() const;
 
     void Merge(const RunningStat& other);
 
@@ -93,6 +103,9 @@ class RunningStat {
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    /// Welford accumulators: running mean and sum of squared deviations.
+    double mean_ = 0.0;
+    double m2_ = 0.0;
 };
 
 }  // namespace dgnn::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/bench_json_writer.hpp"
 #include "support/check.hpp"
 
 namespace dgnn::core {
@@ -132,10 +133,14 @@ ToChromeTraceJson(const sim::Trace& trace)
             oss << ",";
         }
         first = false;
-        oss << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
-            << "\",\"ph\":\"X\",\"ts\":" << e.start_us
+        // Every interpolated string goes through JsonEscape: kernel names
+        // carry user-controlled labels ("what" strings, model names) that
+        // may contain quotes, backslashes, or control characters.
+        oss << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+            << JsonEscape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.start_us
             << ",\"dur\":" << (e.end_us - e.start_us) << ",\"pid\":1,\"tid\":\""
-            << e.device << "\",\"args\":{\"kind\":\"" << sim::ToString(e.kind)
+            << JsonEscape(e.device) << "\",\"args\":{\"kind\":\""
+            << JsonEscape(sim::ToString(e.kind))
             << "\",\"occupancy\":" << e.occupancy << ",\"flops\":" << e.flops
             << ",\"bytes\":" << e.bytes << "}}";
     }

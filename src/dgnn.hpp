@@ -80,8 +80,16 @@
 #include "serve/batch_policy.hpp"
 #include "serve/executor.hpp"
 #include "serve/model_session.hpp"
+#include "serve/observer.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
+
+// Serving observability (span tracing, metrics, bottleneck attribution)
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observability.hpp"
+#include "obs/request_timeline.hpp"
+#include "obs/windowed_metrics.hpp"
 
 // Adversarial workload scenarios (the serving gauntlet)
 #include "scenario/access_patterns.hpp"

@@ -1,0 +1,211 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/bench_json_writer.hpp"
+
+namespace dgnn::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string
+EscapeLabelValue(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+RenderLabels(const Labels& labels)
+{
+    if (labels.empty()) {
+        return "";
+    }
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : sorted) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += key;
+        out += "=\"";
+        out += EscapeLabelValue(value);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+FormatMetricValue(double value)
+{
+    if (std::floor(value) == value && std::abs(value) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    std::string out = buf;
+    // Trim trailing zeros but keep at least one fractional digit so the
+    // value never re-reads as an integer.
+    while (out.size() > 2 && out.back() == '0' &&
+           out[out.size() - 2] != '.') {
+        out.pop_back();
+    }
+    return out;
+}
+
+void
+MetricsRegistry::CounterAdd(const std::string& name, double delta,
+                            const Labels& labels)
+{
+    counters_[{name, RenderLabels(labels)}] += delta;
+}
+
+void
+MetricsRegistry::GaugeSet(const std::string& name, double value,
+                          const Labels& labels)
+{
+    gauges_[{name, RenderLabels(labels)}] = value;
+}
+
+void
+MetricsRegistry::SummaryObserve(const std::string& name, double value,
+                                const Labels& labels)
+{
+    summaries_[{name, RenderLabels(labels)}].Record(value);
+}
+
+double
+MetricsRegistry::CounterValue(const std::string& name,
+                              const Labels& labels) const
+{
+    const auto it = counters_.find({name, RenderLabels(labels)});
+    return it != counters_.end() ? it->second : 0.0;
+}
+
+double
+MetricsRegistry::GaugeValue(const std::string& name, const Labels& labels) const
+{
+    const auto it = gauges_.find({name, RenderLabels(labels)});
+    return it != gauges_.end() ? it->second : 0.0;
+}
+
+const core::RunningStat*
+MetricsRegistry::Summary(const std::string& name, const Labels& labels) const
+{
+    const auto it = summaries_.find({name, RenderLabels(labels)});
+    return it != summaries_.end() ? &it->second : nullptr;
+}
+
+int64_t
+MetricsRegistry::InstrumentCount() const
+{
+    return static_cast<int64_t>(counters_.size() + gauges_.size() +
+                                summaries_.size());
+}
+
+std::string
+MetricsRegistry::PrometheusText() const
+{
+    std::ostringstream oss;
+    // Each family emits its TYPE header once, before its first series; the
+    // maps iterate in (name, labels) order, so series of one name are
+    // contiguous.
+    auto emit_scalar = [&oss](const std::map<SeriesKey, double>& series,
+                              const char* type) {
+        std::string current;
+        for (const auto& [key, value] : series) {
+            if (key.first != current) {
+                current = key.first;
+                oss << "# TYPE " << current << " " << type << "\n";
+            }
+            oss << key.first << key.second << " " << FormatMetricValue(value)
+                << "\n";
+        }
+    };
+    emit_scalar(counters_, "counter");
+    emit_scalar(gauges_, "gauge");
+    std::string current;
+    for (const auto& [key, stat] : summaries_) {
+        if (key.first != current) {
+            current = key.first;
+            oss << "# TYPE " << current << " summary\n";
+        }
+        oss << key.first << "_count" << key.second << " "
+            << FormatMetricValue(static_cast<double>(stat.Count())) << "\n";
+        oss << key.first << "_sum" << key.second << " "
+            << FormatMetricValue(stat.Sum()) << "\n";
+        oss << key.first << "_min" << key.second << " "
+            << FormatMetricValue(stat.Min()) << "\n";
+        oss << key.first << "_mean" << key.second << " "
+            << FormatMetricValue(stat.Mean()) << "\n";
+        oss << key.first << "_max" << key.second << " "
+            << FormatMetricValue(stat.Max()) << "\n";
+        oss << key.first << "_stddev" << key.second << " "
+            << FormatMetricValue(stat.StdDev()) << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+MetricsRegistry::ToJson() const
+{
+    core::BenchJsonWriter writer("metrics_snapshot");
+    for (const auto& [key, value] : counters_) {
+        writer.BeginRecord();
+        writer.Field("metric", key.first);
+        writer.Field("type", "counter");
+        writer.Field("labels", key.second);
+        writer.Field("value", value, 6);
+    }
+    for (const auto& [key, value] : gauges_) {
+        writer.BeginRecord();
+        writer.Field("metric", key.first);
+        writer.Field("type", "gauge");
+        writer.Field("labels", key.second);
+        writer.Field("value", value, 6);
+    }
+    for (const auto& [key, stat] : summaries_) {
+        writer.BeginRecord();
+        writer.Field("metric", key.first);
+        writer.Field("type", "summary");
+        writer.Field("labels", key.second);
+        writer.Field("count", stat.Count());
+        writer.Field("sum", stat.Sum(), 6);
+        writer.Field("min", stat.Min(), 6);
+        writer.Field("mean", stat.Mean(), 6);
+        writer.Field("max", stat.Max(), 6);
+        writer.Field("stddev", stat.StdDev(), 6);
+    }
+    return writer.ToString();
+}
+
+}  // namespace dgnn::obs

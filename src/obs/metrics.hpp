@@ -1,0 +1,86 @@
+#pragma once
+
+/// @file
+/// Labeled metrics registry for the serving observability layer. Three
+/// instrument kinds, matching the Prometheus data model:
+///
+///   * counter — monotone accumulator (requests served, bytes moved);
+///   * gauge   — last-write-wins sample (queue depth at run end);
+///   * summary — count/sum/min/mean/max/stddev over a value series
+///               (batch sizes, per-stage span durations), backed by
+///               core::RunningStat.
+///
+/// Every instrument is addressed by (name, label set). Export is
+/// deterministic by construction — instruments sort by name then rendered
+/// labels, and values print through one fixed formatter — so golden tests
+/// can diff the Prometheus text exposition and the JSON snapshot byte for
+/// byte. The JSON side rides core::BenchJsonWriter, giving metrics
+/// snapshots the same schema-stable envelope as BENCH_*.json trajectories.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/latency_histogram.hpp"
+
+namespace dgnn::obs {
+
+/// One metric's label set: key/value pairs, canonicalized (sorted by key)
+/// at render time. Pass {} for an unlabeled instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical rendering: {a="x",b="y"} with keys sorted, values escaped for
+/// the Prometheus exposition format (backslash, quote, newline). Empty
+/// label sets render as "".
+std::string RenderLabels(const Labels& labels);
+
+/// Deterministic value formatting shared by both exports: integral values
+/// print without a fraction, others as fixed %.6f with trailing zeros
+/// trimmed.
+std::string FormatMetricValue(double value);
+
+/// Registry of labeled counters, gauges, and summaries.
+class MetricsRegistry {
+  public:
+    /// Adds @p delta to the counter, creating it at zero on first touch.
+    void CounterAdd(const std::string& name, double delta,
+                    const Labels& labels = {});
+
+    /// Sets the gauge to @p value (last write wins).
+    void GaugeSet(const std::string& name, double value,
+                  const Labels& labels = {});
+
+    /// Records @p value into the summary's RunningStat.
+    void SummaryObserve(const std::string& name, double value,
+                        const Labels& labels = {});
+
+    double CounterValue(const std::string& name, const Labels& labels = {}) const;
+    double GaugeValue(const std::string& name, const Labels& labels = {}) const;
+    /// Null when the summary does not exist.
+    const core::RunningStat* Summary(const std::string& name,
+                                     const Labels& labels = {}) const;
+
+    int64_t InstrumentCount() const;
+
+    /// Prometheus text exposition: one "# TYPE" header per metric name,
+    /// series sorted by (name, labels). Summaries expose _count, _sum,
+    /// _min, _mean, _max, and _stddev series.
+    std::string PrometheusText() const;
+
+    /// Schema-stable JSON snapshot (BenchJsonWriter envelope, bench name
+    /// "metrics_snapshot"): one record per series with fields
+    /// {metric, type, labels, value...} in fixed order.
+    std::string ToJson() const;
+
+  private:
+    /// (metric name, rendered labels) — the map order IS the export order.
+    using SeriesKey = std::pair<std::string, std::string>;
+
+    std::map<SeriesKey, double> counters_;
+    std::map<SeriesKey, double> gauges_;
+    std::map<SeriesKey, core::RunningStat> summaries_;
+};
+
+}  // namespace dgnn::obs

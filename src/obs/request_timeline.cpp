@@ -1,0 +1,108 @@
+#include "obs/request_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dgnn::obs {
+
+const char*
+ToString(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::kQueue:
+        return "queue";
+      case SpanKind::kStall:
+        return "stall";
+      case SpanKind::kHostPrep:
+        return "host";
+      case SpanKind::kH2d:
+        return "h2d";
+      case SpanKind::kCompute:
+        return "compute";
+      case SpanKind::kD2h:
+        return "d2h";
+    }
+    return "?";
+}
+
+double
+RequestRecord::SpanTotalUs() const
+{
+    double total = 0.0;
+    for (const double s : span_us) {
+        total += s;
+    }
+    return total;
+}
+
+void
+RequestTimeline::RecordBatch(const serve::BatchObservation& ob)
+{
+    const serve::BatchSpans& s = ob.spans;
+    const auto batch_size = static_cast<int64_t>(ob.requests.size());
+    DGNN_CHECK(batch_size > 0, "batch observation with no member requests");
+    const double denom = static_cast<double>(batch_size);
+    const double h2d_share =
+        ob.profile != nullptr
+            ? static_cast<double>(ob.profile->h2d_bytes +
+                                  ob.cache_cost.miss_rows *
+                                      ob.cache_cost.row_bytes) / denom
+            : 0.0;
+    const double d2h_share =
+        ob.profile != nullptr
+            ? static_cast<double>(ob.profile->d2h_bytes +
+                                  ob.cache_cost.WritebackBytes()) / denom
+            : 0.0;
+    for (const serve::Request& r : ob.requests) {
+        RequestRecord rec;
+        rec.id = r.id;
+        rec.batch_index = ob.batch_index;
+        rec.batch_size = batch_size;
+        rec.arrival_us = r.arrival_us;
+        rec.complete_us = s.complete_us;
+        // Arrivals precede their dispatch by construction (the server
+        // admits before it batches), so the queue span is non-negative.
+        rec.span_us[static_cast<size_t>(SpanKind::kQueue)] =
+            s.dispatch_us - r.arrival_us;
+        rec.span_us[static_cast<size_t>(SpanKind::kStall)] =
+            s.stall_done_us - s.dispatch_us;
+        rec.span_us[static_cast<size_t>(SpanKind::kHostPrep)] =
+            s.host_done_us - s.stall_done_us;
+        rec.span_us[static_cast<size_t>(SpanKind::kH2d)] =
+            s.h2d_done_us - s.host_done_us;
+        rec.span_us[static_cast<size_t>(SpanKind::kCompute)] =
+            s.compute_done_us - s.h2d_done_us;
+        rec.span_us[static_cast<size_t>(SpanKind::kD2h)] =
+            s.complete_us - s.compute_done_us;
+        rec.h2d_bytes_share = h2d_share;
+        rec.d2h_bytes_share = d2h_share;
+        records_.push_back(rec);
+    }
+}
+
+double
+RequestTimeline::MaxConservationErrorUs() const
+{
+    double worst = 0.0;
+    for (const RequestRecord& rec : records_) {
+        worst = std::max(worst, std::abs(rec.SpanTotalUs() - rec.LatencyUs()));
+    }
+    return worst;
+}
+
+double
+RequestTimeline::MeanSpanUs(SpanKind kind) const
+{
+    if (records_.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const RequestRecord& rec : records_) {
+        sum += rec.span_us[static_cast<size_t>(kind)];
+    }
+    return sum / static_cast<double>(records_.size());
+}
+
+}  // namespace dgnn::obs

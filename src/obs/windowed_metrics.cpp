@@ -1,0 +1,76 @@
+#include "obs/windowed_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dgnn::obs {
+
+double
+WindowStats::Qps(sim::SimTime window_us) const
+{
+    return window_us > 0.0
+               ? static_cast<double>(completions) / window_us * 1e6
+               : 0.0;
+}
+
+double
+WindowStats::HitRate() const
+{
+    const int64_t rows = cache_hit_rows + cache_miss_rows;
+    return rows > 0 ? static_cast<double>(cache_hit_rows) /
+                          static_cast<double>(rows)
+                    : 0.0;
+}
+
+WindowedMetrics::WindowedMetrics(sim::SimTime window_us) : window_us_(window_us)
+{
+    DGNN_CHECK(window_us_ > 0.0, "window length must be positive, got ",
+               window_us_);
+}
+
+WindowStats&
+WindowedMetrics::WindowFor(sim::SimTime t_us)
+{
+    const int64_t index = std::max<int64_t>(
+        0, static_cast<int64_t>(std::floor((t_us - origin_us_) / window_us_)));
+    if (index >= static_cast<int64_t>(windows_.size())) {
+        const auto old = static_cast<int64_t>(windows_.size());
+        windows_.resize(static_cast<size_t>(index) + 1);
+        for (int64_t i = old; i <= index; ++i) {
+            windows_[static_cast<size_t>(i)].index = i;
+            windows_[static_cast<size_t>(i)].start_us =
+                static_cast<double>(i) * window_us_;
+        }
+    }
+    return windows_[static_cast<size_t>(index)];
+}
+
+void
+WindowedMetrics::OnArrival(sim::SimTime t_us)
+{
+    ++WindowFor(t_us).arrivals;
+}
+
+void
+WindowedMetrics::OnCompletion(sim::SimTime t_us, double latency_us)
+{
+    WindowStats& w = WindowFor(t_us);
+    ++w.completions;
+    w.latency.Record(latency_us);
+}
+
+void
+WindowedMetrics::OnBatch(sim::SimTime t_us, int64_t h2d_bytes, int64_t d2h_bytes,
+                         int64_t hit_rows, int64_t miss_rows)
+{
+    WindowStats& w = WindowFor(t_us);
+    ++w.batches;
+    w.h2d_bytes += h2d_bytes;
+    w.d2h_bytes += d2h_bytes;
+    w.cache_hit_rows += hit_rows;
+    w.cache_miss_rows += miss_rows;
+}
+
+}  // namespace dgnn::obs

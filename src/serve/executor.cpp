@@ -1,5 +1,7 @@
 #include "serve/executor.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace dgnn::serve {
@@ -12,10 +14,12 @@ BatchExecutor::Drain()
 
 sim::SimTime
 SerialExecutor::Submit(const BatchProfile& profile,
-                       const CacheBatchCost& cache_cost)
+                       const CacheBatchCost& cache_cost, BatchSpans* spans)
 {
     sim::CategoryScope scope(runtime_, "Serving Batch");
+    const sim::SimTime dispatch = runtime_.Now();
     runtime_.RunHostFor("batch_build", profile.host_us);
+    const sim::SimTime host_done = runtime_.Now();
     // Missed state rows ride the batch's single staged input copy (one
     // pinned buffer, one PCIe transaction); cache hits cost only the
     // device-side gather kernel.
@@ -24,6 +28,7 @@ SerialExecutor::Submit(const BatchProfile& profile,
     if (h2d_total > 0) {
         runtime_.CopyToDevice(h2d_total, "serve_inputs_h2d");
     }
+    const sim::SimTime h2d_done = runtime_.Now();
     if (cache_cost.hit_rows > 0) {
         runtime_.GatherHits(cache_cost.hit_rows, cache_cost.row_bytes,
                             "serve_state");
@@ -32,12 +37,23 @@ SerialExecutor::Submit(const BatchProfile& profile,
         runtime_.Launch(kernel);
     }
     runtime_.Synchronize();
+    const sim::SimTime compute_done = runtime_.Now();
     if (profile.d2h_bytes > 0) {
         runtime_.CopyToHost(profile.d2h_bytes, "serve_results_d2h");
     }
     if (cache_cost.writeback_rows > 0) {
         runtime_.WriteBackToHost(cache_cost.writeback_rows, cache_cost.row_bytes,
                                  "serve_state");
+    }
+    if (spans != nullptr) {
+        // Every stage blocks the host, so the boundaries are plain clock
+        // reads: already monotone, no clamping needed.
+        spans->dispatch_us = dispatch;
+        spans->stall_done_us = dispatch;  // no pipeline throttle
+        spans->host_done_us = host_done;
+        spans->h2d_done_us = h2d_done;
+        spans->compute_done_us = compute_done;
+        spans->complete_us = runtime_.Now();
     }
     return runtime_.Now();
 }
@@ -51,9 +67,10 @@ PipelinedExecutor::PipelinedExecutor(sim::Runtime& runtime, int64_t max_in_fligh
 
 sim::SimTime
 PipelinedExecutor::Submit(const BatchProfile& profile,
-                          const CacheBatchCost& cache_cost)
+                          const CacheBatchCost& cache_cost, BatchSpans* spans)
 {
     sim::CategoryScope scope(runtime_, "Serving Batch");
+    const sim::SimTime dispatch = runtime_.Now();
 
     // Throttle: with max_in_flight_ batches outstanding the host blocks on
     // the oldest one before building the next (bounded staging memory).
@@ -61,6 +78,7 @@ PipelinedExecutor::Submit(const BatchProfile& profile,
         runtime_.WaitEvent(in_flight_.front());
         in_flight_.pop_front();
     }
+    const sim::SimTime stall_done = runtime_.Now();
 
     // Host stage for batch k+1 — overlaps whatever the device still runs.
     runtime_.RunHostFor("batch_build", profile.host_us);
@@ -71,10 +89,12 @@ PipelinedExecutor::Submit(const BatchProfile& profile,
     // hit-gather kernel queues on the compute stream behind the fence.
     const int64_t h2d_total =
         profile.h2d_bytes + cache_cost.miss_rows * cache_cost.row_bytes;
+    sim::SimTime inputs_ready_us = 0.0;  // resolved after clamping below
     if (h2d_total > 0) {
         runtime_.CopyToDeviceAsync(h2d_total, "serve_inputs_h2d");
         const sim::Event inputs_ready = runtime_.RecordEvent(sim::StreamId::kCopy);
         runtime_.StreamWaitEvent(sim::StreamId::kCompute, inputs_ready);
+        inputs_ready_us = inputs_ready.ready_us;
     }
     if (cache_cost.hit_rows > 0) {
         runtime_.GatherHits(cache_cost.hit_rows, cache_cost.row_bytes,
@@ -97,6 +117,29 @@ PipelinedExecutor::Submit(const BatchProfile& profile,
         batch_done = runtime_.RecordEvent(sim::StreamId::kCopy);
     }
     in_flight_.push_back(batch_done);
+
+    if (spans != nullptr) {
+        // The host-side boundaries are clock reads; the device-side ones
+        // are event completion times. Each boundary is clamped into
+        // [previous boundary, complete] so the chain is monotone and ends
+        // exactly at the completion time Submit returns — an event can
+        // resolve before the host finished submitting (CPU-only no-op
+        // copies), and a batch's H2D can queue behind older copy-stream
+        // work, both of which the clamp absorbs.
+        const sim::SimTime host_done = runtime_.Now();  // build + submits
+        const sim::SimTime complete = batch_done.ready_us;
+        spans->dispatch_us = dispatch;
+        spans->stall_done_us =
+            std::clamp(stall_done, spans->dispatch_us, complete);
+        spans->host_done_us =
+            std::clamp(host_done, spans->stall_done_us, complete);
+        spans->h2d_done_us =
+            std::clamp(h2d_total > 0 ? inputs_ready_us : spans->host_done_us,
+                       spans->host_done_us, complete);
+        spans->compute_done_us =
+            std::clamp(compute_done.ready_us, spans->h2d_done_us, complete);
+        spans->complete_us = complete;
+    }
     return batch_done.ready_us;
 }
 

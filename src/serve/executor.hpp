@@ -42,6 +42,31 @@ struct CacheBatchCost {
     int64_t WritebackBytes() const { return writeback_rows * row_bytes; }
 };
 
+/// Stage-boundary timestamps of one submitted batch, filled by the
+/// executors for the observability layer (src/obs/). The six boundaries are
+/// monotone non-decreasing and complete_us equals the completion time
+/// Submit returns, so the consecutive differences partition the batch's
+/// in-executor latency exactly:
+///
+///   dispatch -> stall    pipeline-depth throttle wait (0 for serial)
+///   stall    -> host     host-side batch build (+ async submit overheads)
+///   host     -> h2d      input H2D landed on the device
+///   h2d      -> compute  device kernels (incl. the cache hit-gather) done
+///   compute  -> complete results (+ dirty write-backs) back on the host
+///
+/// For the pipelined executor the device-side boundaries are event
+/// completion times clamped into [host_done, complete]: a batch's H2D may
+/// queue behind the previous batch's D2H on the copy stream, and that wait
+/// is attributed to the H2D stage.
+struct BatchSpans {
+    sim::SimTime dispatch_us = 0.0;
+    sim::SimTime stall_done_us = 0.0;
+    sim::SimTime host_done_us = 0.0;
+    sim::SimTime h2d_done_us = 0.0;
+    sim::SimTime compute_done_us = 0.0;
+    sim::SimTime complete_us = 0.0;
+};
+
 /// Issues batches to the simulated runtime.
 class BatchExecutor {
   public:
@@ -53,9 +78,13 @@ class BatchExecutor {
     /// Issues one batch; returns its absolute completion time (when its
     /// results are back on the host). @p cache_cost carries the batch's
     /// resolved hit/miss split when the session serves through a device
-    /// cache (all-zero for uncached sessions).
+    /// cache (all-zero for uncached sessions). When @p spans is non-null
+    /// the executor records the batch's stage boundaries into it; the
+    /// capture only reads the clock, so passing nullptr vs a target is
+    /// simulation-identical.
     virtual sim::SimTime Submit(const BatchProfile& profile,
-                                const CacheBatchCost& cache_cost) = 0;
+                                const CacheBatchCost& cache_cost,
+                                BatchSpans* spans = nullptr) = 0;
 
     /// Blocks the host until every in-flight batch completes.
     virtual sim::SimTime Drain();
@@ -73,7 +102,8 @@ class SerialExecutor : public BatchExecutor {
 
     std::string Name() const override { return "serial"; }
     sim::SimTime Submit(const BatchProfile& profile,
-                        const CacheBatchCost& cache_cost) override;
+                        const CacheBatchCost& cache_cost,
+                        BatchSpans* spans = nullptr) override;
 };
 
 /// Multi-stream pipelined executor with bounded in-flight depth.
@@ -85,7 +115,8 @@ class PipelinedExecutor : public BatchExecutor {
 
     std::string Name() const override { return "pipelined"; }
     sim::SimTime Submit(const BatchProfile& profile,
-                        const CacheBatchCost& cache_cost) override;
+                        const CacheBatchCost& cache_cost,
+                        BatchSpans* spans = nullptr) override;
     sim::SimTime Drain() override;
 
     int64_t InFlight() const { return static_cast<int64_t>(in_flight_.size()); }

@@ -74,6 +74,19 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
     runtime.ResetMeasurementWindow();
     const sim::SimTime window_start = runtime.Now();
 
+    ServingObserver* observer = options.observer;
+    if (observer != nullptr) {
+        RunContext ctx;
+        ctx.model = session.ModelName();
+        ctx.mode = sim::ToString(session.Mode());
+        ctx.policy = policy.Name();
+        ctx.executor = executor->Name();
+        ctx.runtime = &runtime;
+        ctx.cache = &session.Cache();
+        ctx.window_start_us = window_start;
+        observer->OnRunBegin(ctx);
+    }
+
     ServingReport report;
     report.model = session.ModelName();
     report.mode = sim::ToString(session.Mode());
@@ -113,6 +126,9 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
             const Request& r = requests[static_cast<size_t>(next_arrival)];
             queue.push_back(Request{next_arrival, t, r.src, r.dst});
             policy.OnArrival(t);
+            if (observer != nullptr) {
+                observer->OnArrival(queue.back());
+            }
             ++next_arrival;
         }
 
@@ -176,14 +192,30 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
                 }
             }
 
-            const sim::SimTime completion =
-                executor->Submit(profile, cache_cost);
+            BatchSpans spans;
+            const sim::SimTime completion = executor->Submit(
+                profile, cache_cost, observer != nullptr ? &spans : nullptr);
             last_completion = std::max(last_completion, completion);
+            BatchObservation ob;
+            if (observer != nullptr) {
+                // Member requests must be copied BEFORE the pops below
+                // retire them from the queue.
+                ob.batch_index = report.batches;
+                ob.queue_depth = static_cast<int64_t>(queue.size());
+                ob.spans = spans;
+                ob.cache_cost = cache_cost;
+                ob.profile = &profile;
+                ob.requests.assign(queue.begin(),
+                                   queue.begin() + decision.dispatch);
+            }
             for (int64_t i = 0; i < decision.dispatch; ++i) {
                 report.latency.Record(completion - queue.front().arrival_us);
                 queue.pop_front();
             }
             ++report.batches;
+            if (observer != nullptr) {
+                observer->OnBatch(ob);
+            }
             continue;
         }
 
@@ -197,6 +229,11 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
         }
         DGNN_CHECK(wake < kNoWake,
                    "batch policy stalled: no dispatch and nothing to wake for");
+        if (observer != nullptr) {
+            // A wake at the policy's own deadline is a timeout flush in the
+            // making; a wake at the next arrival is the server going idle.
+            observer->OnIdleWake(wake, wake == decision.wake_us);
+        }
         sim::CategoryScope idle_scope(runtime, "Serving Idle");
         runtime.IdleUntil(wake);
         DGNN_CHECK(runtime.Now() > now, "serving loop failed to advance");
@@ -211,6 +248,9 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
         runtime.WriteBackToHost(session.Cache().FlushDirty(),
                                 session.Cache().RowBytes(),
                                 "serve_state_flush");
+    }
+    if (observer != nullptr) {
+        observer->OnRunEnd();
     }
     report.makespan_us = last_completion - first_due;
     if (report.makespan_us > 0.0) {

@@ -22,6 +22,7 @@
 #include "serve/batch_policy.hpp"
 #include "serve/executor.hpp"
 #include "serve/model_session.hpp"
+#include "serve/observer.hpp"
 #include "serve/request.hpp"
 
 namespace dgnn::serve {
@@ -41,6 +42,10 @@ struct ServerOptions {
     int64_t pipeline_depth = 2;
     /// Pay the one-time device warm-up before the serving window opens.
     bool warm_start = true;
+    /// Optional passive observer (src/obs/). Null — the default — disables
+    /// all observability hooks; the simulation is bit-identical either way
+    /// because the hooks only read state.
+    ServingObserver* observer = nullptr;
 };
 
 /// Everything one serving run produces.

@@ -502,5 +502,89 @@ TEST(RunningStatTest, TracksMinMeanMaxAndMerges)
     EXPECT_DOUBLE_EQ(s.Mean(), 29.5);
 }
 
+TEST(RunningStatTest, WelfordVarianceMatchesTheTwoPassFormula)
+{
+    const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    RunningStat s;
+    for (const double v : values) {
+        s.Record(v);
+    }
+    // Textbook population variance of this series is exactly 4.
+    EXPECT_DOUBLE_EQ(s.Variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);
+
+    // Welford stays stable when the mean dwarfs the spread — the naive
+    // sum-of-squares formula loses all significant digits here.
+    RunningStat shifted;
+    for (const double v : values) {
+        shifted.Record(v + 1e9);
+    }
+    EXPECT_NEAR(shifted.Variance(), 4.0, 1e-4);
+}
+
+TEST(RunningStatTest, VarianceEdgeCases)
+{
+    RunningStat s;
+    EXPECT_DOUBLE_EQ(s.Variance(), 0.0);  // empty
+    EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+    s.Record(42.0);
+    EXPECT_DOUBLE_EQ(s.Variance(), 0.0);  // one sample
+    s.Record(42.0);
+    EXPECT_DOUBLE_EQ(s.Variance(), 0.0);  // no spread
+}
+
+TEST(RunningStatTest, MergeReducesSplitStreamsToTheCombinedMoments)
+{
+    // Split one series arbitrarily; merged moments must equal the
+    // single-stream moments (the Chan et al. parallel combination).
+    const std::vector<double> values = {1.0, 5.0, 2.5, 8.0, 3.0, 9.5, 4.0};
+    RunningStat whole;
+    for (const double v : values) {
+        whole.Record(v);
+    }
+    RunningStat left;
+    RunningStat right;
+    for (size_t i = 0; i < values.size(); ++i) {
+        (i < 3 ? left : right).Record(values[i]);
+    }
+    left.Merge(right);
+    EXPECT_EQ(left.Count(), whole.Count());
+    EXPECT_DOUBLE_EQ(left.Mean(), whole.Mean());
+    EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(left.Min(), whole.Min());
+    EXPECT_DOUBLE_EQ(left.Max(), whole.Max());
+}
+
+TEST(RunningStatTest, MergeEmptyAndSingleSampleCases)
+{
+    RunningStat empty;
+    RunningStat loaded;
+    loaded.Record(3.0);
+    loaded.Record(7.0);
+
+    // Merging an empty stat is a no-op.
+    RunningStat a = loaded;
+    a.Merge(empty);
+    EXPECT_EQ(a.Count(), 2);
+    EXPECT_DOUBLE_EQ(a.Variance(), loaded.Variance());
+
+    // Merging INTO an empty stat adopts the other side wholesale.
+    RunningStat b;
+    b.Merge(loaded);
+    EXPECT_EQ(b.Count(), 2);
+    EXPECT_DOUBLE_EQ(b.Mean(), 5.0);
+    EXPECT_DOUBLE_EQ(b.Variance(), 4.0);
+
+    // One-sample merges: variance emerges purely from the cross term.
+    RunningStat one;
+    one.Record(10.0);
+    RunningStat other;
+    other.Record(20.0);
+    one.Merge(other);
+    EXPECT_EQ(one.Count(), 2);
+    EXPECT_DOUBLE_EQ(one.Mean(), 15.0);
+    EXPECT_DOUBLE_EQ(one.Variance(), 25.0);
+}
+
 }  // namespace
 }  // namespace dgnn::core
