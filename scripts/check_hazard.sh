@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the hazard audit and verifies both of its artifacts:
+#   1. the text summary is byte-identical to docs/expected/
+#      bench_hazard_audit.txt (the golden clean-run reports + mutation
+#      wall), and
+#   2. BENCH_hazard_audit.json parses and carries zero-hazard verdicts in
+#      every clean_run record (the machine-readable gate the CI TSan job
+#      uploads).
+# Registered as the `hazard_audit_diff` CTest (label: hazard).
+#
+# Usage: check_hazard.sh <bench-binary> <workdir>
+set -euo pipefail
+
+bench=$1
+workdir=$2
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+mkdir -p "$workdir"
+cd "$workdir"
+
+"$bench" > bench_hazard_audit.txt
+diff -u "$repo/docs/expected/bench_hazard_audit.txt" bench_hazard_audit.txt
+
+if command -v python3 > /dev/null; then
+    python3 - <<'PY'
+import json
+with open("BENCH_hazard_audit.json") as f:
+    doc = json.load(f)
+records = doc["records"]
+clean = [r for r in records if r["section"] == "clean_run"]
+mutations = [r for r in records if r["section"] == "mutation"]
+assert clean and mutations, "missing audit sections"
+for r in clean:
+    assert r["verdict"] == "CLEAN", f"hazardous serving cell: {r}"
+for r in mutations:
+    expect_clean = r["dropped_edge"] == "none"
+    assert (r["verdict"] == "CLEAN") == expect_clean, f"mutation miss: {r}"
+PY
+else
+    echo "note: python3 not found; skipped JSON validation"
+fi
+
+echo "hazard audit matches docs/expected/ and every verdict holds"

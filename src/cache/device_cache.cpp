@@ -26,6 +26,12 @@ SortUnique(std::vector<int64_t>& keys)
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 }
 
+std::string
+RowResource(int64_t key, int64_t generation)
+{
+    return "row:" + std::to_string(key) + "#g" + std::to_string(generation);
+}
+
 double
 CacheStats::HitRate() const
 {
@@ -85,7 +91,8 @@ DeviceCache::DeviceCache(DeviceCacheConfig config) : config_(config)
 }
 
 GatherResult
-DeviceCache::Gather(const std::vector<int64_t>& keys, bool mark_dirty)
+DeviceCache::Gather(const std::vector<int64_t>& keys, bool mark_dirty,
+                    GatherTrace* trace)
 {
     GatherResult result;
     for (const int64_t key : keys) {
@@ -98,6 +105,10 @@ DeviceCache::Gather(const std::vector<int64_t>& keys, bool mark_dirty)
             it->second.dirty = it->second.dirty || mark_dirty;
             if (config_.eviction == EvictionPolicy::kLru) {
                 order_.splice(order_.end(), order_, it->second.pos);
+            }
+            if (trace != nullptr) {
+                trace->hit_rows.push_back(
+                    RowResource(key, it->second.generation));
             }
             continue;
         }
@@ -114,17 +125,21 @@ DeviceCache::Gather(const std::vector<int64_t>& keys, bool mark_dirty)
             continue;
         }
         while (ResidentRows() >= capacity_rows_) {
-            EvictOne(result);
+            EvictOne(result, trace);
         }
+        const int64_t generation = next_generation_++;
         order_.push_back(key);
-        map_.emplace(key, Entry{std::prev(order_.end()), mark_dirty});
+        map_.emplace(key, Entry{std::prev(order_.end()), generation, mark_dirty});
         ++stats_.insertions;
+        if (trace != nullptr) {
+            trace->inserted_rows.push_back(RowResource(key, generation));
+        }
     }
     return result;
 }
 
 void
-DeviceCache::EvictOne(GatherResult& result)
+DeviceCache::EvictOne(GatherResult& result, GatherTrace* trace)
 {
     DGNN_ASSERT(!order_.empty());
     const int64_t victim = order_.front();
@@ -134,6 +149,10 @@ DeviceCache::EvictOne(GatherResult& result)
     if (it->second.dirty) {
         ++result.writeback_rows;
         ++stats_.writeback_rows;
+        if (trace != nullptr) {
+            trace->evicted_dirty_rows.push_back(
+                RowResource(victim, it->second.generation));
+        }
     }
     map_.erase(it);
     ++stats_.evictions;
@@ -151,15 +170,25 @@ DeviceCache::MarkDirty(const std::vector<int64_t>& keys)
 }
 
 int64_t
-DeviceCache::FlushDirty()
+DeviceCache::FlushDirty(std::vector<std::string>* flushed_resources)
 {
-    int64_t flushed = 0;
-    for (auto& [key, entry] : map_) {
+    // Walk in ascending key order so the resource list (and with it every
+    // hazard report built from it) is independent of the hash map's
+    // internal layout.
+    std::vector<std::pair<int64_t, int64_t>> dirty_keys;
+    for (auto& [key, entry] : map_) {  // determinism-ok: sorted below
         if (entry.dirty) {
             entry.dirty = false;
-            ++flushed;
+            dirty_keys.emplace_back(key, entry.generation);
         }
     }
+    std::sort(dirty_keys.begin(), dirty_keys.end());
+    if (flushed_resources != nullptr) {
+        for (const auto& [key, generation] : dirty_keys) {
+            flushed_resources->push_back(RowResource(key, generation));
+        }
+    }
+    const auto flushed = static_cast<int64_t>(dirty_keys.size());
     stats_.writeback_rows += flushed;
     return flushed;
 }

@@ -85,6 +85,25 @@ struct GatherResult {
     int64_t writeback_rows = 0;
 };
 
+/// Logical-resource names of the rows one Gather touched, for the
+/// happens-before hazard checker (analysis::HazardChecker). Each name is
+/// generation-tagged ("row:<key>#g<gen>"): an insertion opens a new
+/// residency episode with a fresh generation, so an evict-then-reinsert of
+/// the same key yields a NEW resource and the checker never manufactures
+/// false ordering requirements between unrelated episodes. Purely
+/// observational — requesting a trace never changes cache state or stats.
+struct GatherTrace {
+    /// Resident rows the batch hit — read by the device-side hit-gather.
+    std::vector<std::string> hit_rows;
+    /// Rows this gather inserted — written by the batch's staged H2D copy.
+    std::vector<std::string> inserted_rows;
+    /// Dirty rows this gather evicted — read by the batch's write-back D2H.
+    std::vector<std::string> evicted_dirty_rows;
+};
+
+/// The hazard-checker resource name of one residency episode of @p key.
+std::string RowResource(int64_t key, int64_t generation);
+
 /// Deterministic device-resident row cache (LRU or FIFO over row keys).
 class DeviceCache {
   public:
@@ -114,16 +133,21 @@ class DeviceCache {
     /// capacity: a row inserted and evicted within the same batch still
     /// owes its write-back, which a later MarkDirty (absent keys ignored)
     /// would silently drop.
+    /// When @p trace is non-null the touched rows' generation-tagged
+    /// resource names are appended to it (observational only).
     GatherResult Gather(const std::vector<int64_t>& keys,
-                        bool mark_dirty = false);
+                        bool mark_dirty = false, GatherTrace* trace = nullptr);
 
     /// Marks resident rows dirty (mutated on the device; a write-back is
     /// owed when they leave). Absent keys are ignored.
     void MarkDirty(const std::vector<int64_t>& keys);
 
     /// Clears every dirty bit and returns how many rows need writing back
-    /// (end-of-run synchronization of the host-side store).
-    int64_t FlushDirty();
+    /// (end-of-run synchronization of the host-side store). When
+    /// @p flushed_resources is non-null the flushed rows' resource names
+    /// are appended in ascending key order (deterministic regardless of
+    /// the map's internal order).
+    int64_t FlushDirty(std::vector<std::string>* flushed_resources = nullptr);
 
     bool Contains(int64_t key) const { return map_.count(key) > 0; }
 
@@ -133,10 +157,12 @@ class DeviceCache {
 
   private:
     /// Evicts the policy's victim row; accounts a write-back if dirty.
-    void EvictOne(GatherResult& result);
+    void EvictOne(GatherResult& result, GatherTrace* trace);
 
     struct Entry {
         std::list<int64_t>::iterator pos;  ///< position in order_
+        /// Residency episode this entry belongs to (see GatherTrace).
+        int64_t generation = 0;
         bool dirty = false;
     };
 
@@ -147,6 +173,8 @@ class DeviceCache {
     std::list<int64_t> order_;
     std::unordered_map<int64_t, Entry> map_;
     CacheStats stats_;
+    /// Residency-episode counter; bumped once per insertion.
+    int64_t next_generation_ = 0;
 };
 
 }  // namespace dgnn::cache

@@ -41,10 +41,16 @@
 #include "sim/kernel.hpp"
 #include "sim/pcie.hpp"
 #include "sim/runtime.hpp"
+#include "sim/runtime_observer.hpp"
 #include "sim/sim_time.hpp"
 #include "sim/stream.hpp"
 #include "sim/trace.hpp"
 #include "sim/warmup.hpp"
+
+// Happens-before hazard analysis over the simulated runtime
+#include "analysis/hazard_checker.hpp"
+#include "analysis/hazard_report.hpp"
+#include "analysis/sync_mutations.hpp"
 
 // Profiling / bottleneck-analysis core
 #include "core/bench_json_writer.hpp"

@@ -49,7 +49,7 @@ Astgnn::TemporalAttentionPhase(NnExecutor& exec, core::Profiler& profiler,
     attn.bytes = batch * sensors * steps * d * 4 * 4;
     attn.parallel_items = batch * sensors * steps * d;
     runtime.Launch(attn);
-    runtime.Synchronize();
+    (void)runtime.Synchronize();
 
     // Numeric path: real attention over real sensor histories, capped.
     const int64_t cap = numeric_cap > 0 ? std::min(numeric_cap, sensors)
@@ -89,7 +89,7 @@ Astgnn::SpatialGcnPhase(NnExecutor& exec, core::Profiler& profiler, int64_t batc
                 (road_csr_.Nnz() * 12 + 2 * road_csr_.n * d * 4);
     gcn.parallel_items = batch * steps * road_csr_.n * d;
     runtime.Launch(gcn);
-    runtime.Synchronize();
+    (void)runtime.Synchronize();
 
     // Numeric path: real spatial convolution over the per-sensor means of
     // the real signal, for one capped step.
@@ -190,7 +190,7 @@ Astgnn::RunInference(sim::Runtime& runtime, const RunConfig& run)
                                    run.numeric_cap, window, checksum);
             SpatialGcnPhase(exec, profiler, nb, hist, run.numeric_cap, checksum);
         }
-        runtime.Synchronize();
+        (void)runtime.Synchronize();
         runtime.Marker("encoder_end");
         profiler.End();
 
@@ -210,7 +210,7 @@ Astgnn::RunInference(sim::Runtime& runtime, const RunConfig& run)
         // --- Etc: end-of-iteration CUDA synchronization.
         {
             core::ProfileScope scope(profiler, "Etc(data loading, cuda sync)");
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
         }
 
         // --- Memory Copy: predictions D2H.

@@ -66,7 +66,7 @@ RunResult
 CollectRunStats(sim::Runtime& runtime, const std::string& model,
                 const std::string& dataset, int64_t iterations)
 {
-    runtime.Synchronize();
+    (void)runtime.Synchronize();
     RunResult r;
     r.model = model;
     r.dataset = dataset;

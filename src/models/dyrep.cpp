@@ -152,7 +152,7 @@ DyRep::RunInference(sim::Runtime& runtime, const RunConfig& run)
             head.bytes = 2 * d * 4 + intensity_head_->ParameterBytes();
             head.parallel_items = 1;
             runtime.Launch(head);
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
 
             if (numeric) {
                 checksum.Add(Intensity(e.src, e.dst));

@@ -152,7 +152,7 @@ EvolveGcn::EvolveWeights(NnExecutor& exec, core::Profiler& profiler,
             // additionally stalls the host here (eager-mode behaviour),
             // while the pipelined variant (Fig 10) lets the host run ahead.
             if (!config_.pipelined) {
-                runtime.Synchronize();
+                (void)runtime.Synchronize();
             }
         }
     }
@@ -231,7 +231,7 @@ EvolveGcn::RunInference(sim::Runtime& runtime, const RunConfig& run)
                 h = exec.GcnWithWeight(*gcn_layers_[l], a_hat, h, weights_[l]);
             }
             if (!config_.pipelined) {
-                runtime.Synchronize();
+                (void)runtime.Synchronize();
             }
         }
         checksum.Add(h.RowSlice(0, std::min<int64_t>(4, h.Dim(0))));

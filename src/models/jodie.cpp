@@ -199,7 +199,7 @@ Jodie::RunInference(sim::Runtime& runtime, const RunConfig& run)
                     runtime.Launch(rnn);
                 }
                 // The next t-batch depends on these updates: hard sync.
-                runtime.Synchronize();
+                (void)runtime.Synchronize();
             }
 
             for (int64_t i = 0; i < cap; ++i) {

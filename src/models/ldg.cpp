@@ -189,7 +189,7 @@ Ldg::RunInference(sim::Runtime& runtime, const RunConfig& run)
             dec.bytes = 2 * d * 4 + bilinear_w_.NumBytes();
             dec.parallel_items = d;
             runtime.Launch(dec);
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
 
             if (numeric) {
                 checksum.Add(PairScore(e.src, e.dst));

@@ -123,7 +123,7 @@ MolDgnn::RunInference(sim::Runtime& runtime, const RunConfig& run)
             gcn.parallel_items = nf * atoms * config_.gcn_dim;
             gcn.irregular = true;
             runtime.Launch(gcn);
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
         }
 
         // --- LSTM: one fused (cuDNN-style) kernel per batch; the sequence
@@ -143,7 +143,7 @@ MolDgnn::RunInference(sim::Runtime& runtime, const RunConfig& run)
                         lstm_->ParameterBytes();
             seq.parallel_items = config_.lstm_dim;
             runtime.Launch(seq);
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
         }
 
         // --- FFN: predict the next adjacency matrix.
@@ -158,7 +158,7 @@ MolDgnn::RunInference(sim::Runtime& runtime, const RunConfig& run)
                         ffn_->ParameterBytes();
             ffn.parallel_items = nf * atoms * atoms;
             runtime.Launch(ffn);
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
         }
 
         // --- Memory Copy: predicted (symmetric) matrices D2H (Fig 5c).

@@ -101,6 +101,7 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
         }
         std::vector<int64_t> unique_nodes;
         unique_nodes.reserve(last_message_event.size());
+        // determinism-ok: collected set is sorted below before use
         for (const auto& [node, event] : last_message_event) {
             unique_nodes.push_back(node);
         }
@@ -156,7 +157,7 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
             agg.parallel_items = un * MessageDim();
             agg.irregular = true;
             runtime.Launch(agg);
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
         }
 
         // Real message tensors for the numeric path.
@@ -210,7 +211,7 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
                         memory_updater_->ParameterBytes();
             upd.parallel_items = un * md;
             runtime.Launch(upd);
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
 
             // Fig 5b: updated memory rows flow back to the host-side store.
             // With the cache they stay device-resident (already marked
@@ -265,7 +266,7 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
             dec.bytes = nb * 2 * md * 4 + edge_decoder_->ParameterBytes();
             dec.parallel_items = nb;
             runtime.Launch(dec);
-            runtime.Synchronize();
+            (void)runtime.Synchronize();
 
             // Numeric path for capped targets.
             const int64_t ncap =

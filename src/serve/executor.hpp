@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "cache/device_cache.hpp"
 #include "serve/model_session.hpp"
 #include "sim/runtime.hpp"
 
@@ -38,6 +39,15 @@ struct CacheBatchCost {
     int64_t miss_rows = 0;
     int64_t row_bytes = 0;
     int64_t writeback_rows = 0;
+
+    /// Whether the cached rows are mutable state (the batch's kernels
+    /// update them on the device) — TGN/JODIE/DyRep memory rows.
+    bool rows_mutable = false;
+
+    /// Generation-tagged row resources for the hazard checker
+    /// (cache::GatherTrace semantics). Filled by the serving loop only
+    /// when the runtime has an observer attached; empty otherwise.
+    cache::GatherTrace row_trace;
 
     int64_t WritebackBytes() const { return writeback_rows * row_bytes; }
 };
@@ -124,6 +134,10 @@ class PipelinedExecutor : public BatchExecutor {
   private:
     int64_t max_in_flight_;
     std::deque<sim::Event> in_flight_;
+    /// Batches submitted so far; batch k stages through slot
+    /// k % max_in_flight_ (the double-buffer rotation the hazard
+    /// annotations describe).
+    int64_t submitted_ = 0;
 };
 
 }  // namespace dgnn::serve

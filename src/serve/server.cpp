@@ -63,6 +63,7 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
                "arrival timestamps must be sorted");
 
     sim::Runtime runtime = models::MakeRuntime(session.Mode());
+    runtime.SetObserver(options.runtime_observer);
     const cache::CacheStats cache_stats_before = session.Cache().Stats();
     std::unique_ptr<BatchExecutor> executor = MakeExecutor(runtime, options);
 
@@ -166,9 +167,12 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
                     }
                 }
                 cache::SortUnique(nodes);
+                cache_cost.rows_mutable = session.CacheRowsMutable();
                 if (!nodes.empty()) {
                     const cache::GatherResult g = session.Cache().Gather(
-                        nodes, session.CacheRowsMutable());
+                        nodes, session.CacheRowsMutable(),
+                        runtime.HasObserver() ? &cache_cost.row_trace
+                                              : nullptr);
                     cache_cost.hit_rows = g.hit_rows;
                     cache_cost.miss_rows = g.miss_rows;
                     cache_cost.writeback_rows = g.writeback_rows;
@@ -245,8 +249,14 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
     // once (DESIGN.md §8 — on eviction or here). The rows stay resident,
     // so a follow-up run over the same session starts warm and clean.
     if (session.CacheEnabled() && session.CacheRowsMutable()) {
-        runtime.WriteBackToHost(session.Cache().FlushDirty(),
-                                session.Cache().RowBytes(),
+        std::vector<std::string> flushed;
+        const int64_t flushed_rows = session.Cache().FlushDirty(
+            runtime.HasObserver() ? &flushed : nullptr);
+        sim::AccessSet access;
+        access.reads = std::move(flushed);
+        access.writes.emplace_back("host_store");
+        sim::AccessScope access_scope(runtime, std::move(access));
+        runtime.WriteBackToHost(flushed_rows, session.Cache().RowBytes(),
                                 "serve_state_flush");
     }
     if (observer != nullptr) {

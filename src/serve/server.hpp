@@ -46,6 +46,12 @@ struct ServerOptions {
     /// all observability hooks; the simulation is bit-identical either way
     /// because the hooks only read state.
     ServingObserver* observer = nullptr;
+    /// Optional passive runtime observer (src/analysis/ — attach an
+    /// analysis::HazardChecker to happens-before-check the run). Attached
+    /// to the per-run runtime before any work is issued; null — the
+    /// default — keeps the run bit-identical and skips all access
+    /// annotation work.
+    sim::RuntimeObserver* runtime_observer = nullptr;
 };
 
 /// Everything one serving run produces.

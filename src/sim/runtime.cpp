@@ -34,6 +34,22 @@ ToString(StreamId id)
     return "?";
 }
 
+const char*
+ToString(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kHostOp:
+        return "host_op";
+      case OpKind::kKernel:
+        return "kernel";
+      case OpKind::kCopyH2D:
+        return "copy_h2d";
+      case OpKind::kCopyD2H:
+        return "copy_d2h";
+    }
+    return "?";
+}
+
 DeviceBuffer&
 DeviceBuffer::operator=(DeviceBuffer&& other) noexcept
 {
@@ -106,6 +122,46 @@ Runtime::CurrentCategory() const
 }
 
 void
+Runtime::PushAccess(AccessSet set)
+{
+    access_stack_.push_back(std::move(set));
+}
+
+void
+Runtime::PopAccess()
+{
+    DGNN_CHECK(!access_stack_.empty(), "PopAccess on empty access stack");
+    access_stack_.pop_back();
+}
+
+const AccessSet*
+Runtime::CurrentAccess() const
+{
+    return access_stack_.empty() ? nullptr : &access_stack_.back();
+}
+
+void
+Runtime::NotifyOp(OpKind kind, const std::string& name, bool on_host,
+                  StreamId stream, bool blocking, SimTime start, SimTime end,
+                  int64_t bytes)
+{
+    if (observer_ == nullptr) {
+        return;
+    }
+    OpRecord record;
+    record.kind = kind;
+    record.name = &name;
+    record.on_host = on_host;
+    record.stream = stream;
+    record.blocking = blocking;
+    record.start_us = start;
+    record.end_us = end;
+    record.bytes = bytes;
+    record.access = CurrentAccess();
+    observer_->OnOp(record);
+}
+
+void
 Runtime::AdvanceHost(SimTime delta_us)
 {
     DGNN_ASSERT(delta_us >= 0.0);
@@ -144,6 +200,8 @@ Runtime::RunHost(const KernelDesc& kernel)
     e.parallel_items = kernel.parallel_items;
     e.irregular = kernel.irregular;
     trace_.Add(std::move(e));
+    NotifyOp(OpKind::kHostOp, kernel.name, /*on_host=*/true, StreamId::kCompute,
+             /*blocking=*/true, start, host_time_, kernel.bytes);
     return host_time_;
 }
 
@@ -155,6 +213,8 @@ Runtime::RunHostFor(const std::string& name, SimTime duration_us)
     AdvanceHost(duration_us);
     cpu_.AddBusy(duration_us, cpu_.Spec().occupancy_floor);
     trace_.Add(MakeEvent(EventKind::kHostOp, name, cpu_.Name(), start, host_time_));
+    NotifyOp(OpKind::kHostOp, name, /*on_host=*/true, StreamId::kCompute,
+             /*blocking=*/true, start, host_time_, 0);
     return host_time_;
 }
 
@@ -195,6 +255,9 @@ Runtime::Launch(const KernelDesc& kernel)
     e.parallel_items = kernel.parallel_items;
     e.irregular = kernel.irregular;
     trace_.Add(std::move(e));
+    NotifyOp(OpKind::kKernel, kernel.name, /*on_host=*/!HasGpu(),
+             StreamId::kCompute, /*blocking=*/!HasGpu(), end - execution, end,
+             kernel.bytes);
     return end;
 }
 
@@ -219,6 +282,8 @@ Runtime::CopyToDevice(int64_t bytes, const std::string& what)
     e.bytes = bytes;
     e.direction = CopyDirection::kHostToDevice;
     trace_.Add(std::move(e));
+    NotifyOp(OpKind::kCopyH2D, what, /*on_host=*/true, StreamId::kCompute,
+             /*blocking=*/true, iv.start, iv.end, bytes);
     return host_time_;
 }
 
@@ -241,6 +306,8 @@ Runtime::CopyToHost(int64_t bytes, const std::string& what)
     e.bytes = bytes;
     e.direction = CopyDirection::kDeviceToHost;
     trace_.Add(std::move(e));
+    NotifyOp(OpKind::kCopyD2H, what, /*on_host=*/true, StreamId::kCompute,
+             /*blocking=*/true, iv.start, iv.end, bytes);
     return host_time_;
 }
 
@@ -340,6 +407,8 @@ Runtime::CopyToDeviceAsync(int64_t bytes, const std::string& what)
     e.bytes = bytes;
     e.direction = CopyDirection::kHostToDevice;
     trace_.Add(std::move(e));
+    NotifyOp(OpKind::kCopyH2D, what, /*on_host=*/false, StreamId::kCopy,
+             /*blocking=*/false, iv.start, iv.end, bytes);
     return iv.end;
 }
 
@@ -360,19 +429,28 @@ Runtime::CopyToHostAsync(int64_t bytes, const std::string& what)
     e.bytes = bytes;
     e.direction = CopyDirection::kDeviceToHost;
     trace_.Add(std::move(e));
+    NotifyOp(OpKind::kCopyD2H, what, /*on_host=*/false, StreamId::kCopy,
+             /*blocking=*/false, iv.start, iv.end, bytes);
     return iv.end;
 }
 
 Event
 Runtime::RecordEvent(StreamId stream)
 {
+    Event event;
+    event.id = next_event_id_++;
     if (!HasGpu()) {
-        return Event{host_time_};
+        event.ready_us = host_time_;
+    } else {
+        AdvanceHost(config_.event_overhead_us);
+        // The event completes when work already on the stream completes; an
+        // idle stream completes it immediately (at the record point).
+        event.ready_us = std::max(StreamFor(stream).ReadyTime(), host_time_);
     }
-    AdvanceHost(config_.event_overhead_us);
-    // The event completes when work already on the stream completes; an
-    // idle stream completes it immediately (at the record point).
-    return Event{std::max(StreamFor(stream).ReadyTime(), host_time_)};
+    if (observer_ != nullptr) {
+        observer_->OnEventRecorded(event, stream);
+    }
+    return event;
 }
 
 void
@@ -383,6 +461,9 @@ Runtime::StreamWaitEvent(StreamId stream, const Event& event)
     }
     AdvanceHost(config_.event_overhead_us);
     StreamFor(stream).Enqueue(event.ready_us, 0.0);
+    if (observer_ != nullptr) {
+        observer_->OnStreamWaitEvent(stream, event);
+    }
 }
 
 SimTime
@@ -394,6 +475,10 @@ Runtime::WaitEvent(const Event& event)
         AdvanceHost(event.ready_us - host_time_);
         trace_.Add(MakeEvent(EventKind::kSync, "event_wait", cpu_.Name(), start,
                              host_time_));
+    }
+    // The ordering edge exists even when the event had already completed.
+    if (observer_ != nullptr) {
+        observer_->OnHostWaitEvent(event);
     }
     return host_time_;
 }
@@ -424,6 +509,9 @@ Runtime::Synchronize()
         AdvanceHost(ready - host_time_);
         trace_.Add(MakeEvent(EventKind::kSync, "cuda_synchronize", cpu_.Name(), start,
                              host_time_));
+    }
+    if (observer_ != nullptr) {
+        observer_->OnSynchronize();
     }
     return host_time_;
 }
@@ -499,7 +587,7 @@ Runtime::RunAllocWarmup(int64_t working_set_bytes)
 void
 Runtime::ResetMeasurementWindow()
 {
-    Synchronize();
+    (void)Synchronize();
     measure_start_ = host_time_;
     cpu_.ResetBusy();
     gpu_.ResetBusy();

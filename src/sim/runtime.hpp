@@ -29,6 +29,7 @@
 #include "sim/device.hpp"
 #include "sim/kernel.hpp"
 #include "sim/pcie.hpp"
+#include "sim/runtime_observer.hpp"
 #include "sim/stream.hpp"
 #include "sim/trace.hpp"
 #include "sim/warmup.hpp"
@@ -67,8 +68,11 @@ const char* ToString(StreamId id);
 /// Cross-stream synchronization marker (the cudaEvent analogue). Obtained
 /// from Runtime::RecordEvent; complete once the simulated clock passes
 /// ready_us. Copyable value type — recording again returns a new Event.
+/// The id is unique per Runtime and identifies the record site to
+/// observers (the hazard checker matches waits to records through it).
 struct Event {
     SimTime ready_us = 0.0;
+    int64_t id = 0;
 };
 
 class Runtime;
@@ -128,6 +132,25 @@ class Runtime {
     void PopCategory();
     const std::string& CurrentCategory() const;
 
+    /// --- Observer seam (src/analysis/) ----------------------------------
+
+    /// Attaches a passive observer notified of every issued operation and
+    /// synchronization action. Null (the default) disables all hooks; the
+    /// simulated timeline is bit-identical either way because the hooks
+    /// only read state. The observer is borrowed and must outlive the
+    /// runtime or be detached first.
+    void SetObserver(RuntimeObserver* observer) { observer_ = observer; }
+    bool HasObserver() const { return observer_ != nullptr; }
+
+    /// Declares the logical-resource footprint of subsequently issued
+    /// operations (innermost declaration wins). Purely observational —
+    /// consumed by the observer, never by the cost model. Prefer the RAII
+    /// AccessScope below.
+    void PushAccess(AccessSet set);
+    void PopAccess();
+    /// The innermost active declaration, or nullptr.
+    const AccessSet* CurrentAccess() const;
+
     /// --- Work issue -----------------------------------------------------
 
     /// Runs a CPU-side op synchronously (sampling, batching, host math).
@@ -183,18 +206,23 @@ class Runtime {
     /// transfer on the copy stream. Returns the copy completion time.
     /// Ordering against compute kernels is the caller's responsibility
     /// (RecordEvent + StreamWaitEvent). No-op (returns Now()) in CPU-only
-    /// mode.
-    SimTime CopyToDeviceAsync(int64_t bytes, const std::string& what);
+    /// mode. The completion time is how callers build that ordering —
+    /// ignoring it is almost always a missing-sync bug, hence nodiscard.
+    [[nodiscard]] SimTime CopyToDeviceAsync(int64_t bytes,
+                                            const std::string& what);
 
     /// Asynchronous device->host copy on the copy stream (pinned
     /// destination). Does NOT implicitly wait for the compute stream —
     /// insert an event dependency first. No-op in CPU-only mode.
-    SimTime CopyToHostAsync(int64_t bytes, const std::string& what);
+    [[nodiscard]] SimTime CopyToHostAsync(int64_t bytes,
+                                          const std::string& what);
 
     /// Records an event on @p stream: it completes when all work currently
     /// enqueued there has finished (immediately if the stream is idle). In
-    /// CPU-only mode events complete at the current host time.
-    Event RecordEvent(StreamId stream);
+    /// CPU-only mode events complete at the current host time. A recorded
+    /// event only orders anything once somebody waits on it — discarding
+    /// one is a dropped sync edge, hence nodiscard.
+    [[nodiscard]] Event RecordEvent(StreamId stream);
 
     /// Makes future work on @p stream wait for @p event (cross-stream
     /// fence). Purely device-side: the host pays only the enqueue cost.
@@ -202,10 +230,10 @@ class Runtime {
 
     /// Blocks the host until @p event completes; records the wait like
     /// Synchronize(). Returns the (possibly advanced) host time.
-    SimTime WaitEvent(const Event& event);
+    [[nodiscard]] SimTime WaitEvent(const Event& event);
 
     /// Time at which all work enqueued on @p stream completes.
-    SimTime StreamReadyTime(StreamId stream) const;
+    [[nodiscard]] SimTime StreamReadyTime(StreamId stream) const;
 
     /// Advances the host clock to @p until_us without charging CPU busy
     /// time — the serving loop's "wait for the next request" idle state.
@@ -213,14 +241,21 @@ class Runtime {
     SimTime IdleUntil(SimTime until_us);
 
     /// Blocks the host until every device stream drains; records the wait.
-    SimTime Synchronize();
+    /// Returns the drained host time. nodiscard like the rest of the async
+    /// API: call sites that genuinely only want the barrier side effect
+    /// say so with a (void) cast.
+    [[nodiscard]] SimTime Synchronize();
 
     /// Zero-duration annotation in the trace (phase boundary).
     void Marker(const std::string& name);
 
     /// --- Memory ---------------------------------------------------------
-    DeviceBuffer AllocDevice(int64_t bytes, const std::string& label);
-    DeviceBuffer AllocHost(int64_t bytes, const std::string& label);
+    /// Discarding the returned RAII handle frees the allocation on the
+    /// spot, which is never what a caller means — hence nodiscard.
+    [[nodiscard]] DeviceBuffer AllocDevice(int64_t bytes,
+                                           const std::string& label);
+    [[nodiscard]] DeviceBuffer AllocHost(int64_t bytes,
+                                         const std::string& label);
 
     /// --- Warm-up --------------------------------------------------------
 
@@ -276,6 +311,11 @@ class Runtime {
     /// category. Every host-time mutation funnels through here.
     void AdvanceHost(SimTime delta_us);
 
+    /// Reports one issued operation to the observer (no-op when detached).
+    void NotifyOp(OpKind kind, const std::string& name, bool on_host,
+                  StreamId stream, bool blocking, SimTime start, SimTime end,
+                  int64_t bytes);
+
     TraceEvent MakeEvent(EventKind kind, std::string name, std::string device,
                          SimTime start, SimTime end) const;
 
@@ -290,6 +330,9 @@ class Runtime {
     Stream copy_stream_;
     SimTime host_time_ = 0.0;
     SimTime measure_start_ = 0.0;
+    RuntimeObserver* observer_ = nullptr;
+    std::vector<AccessSet> access_stack_;
+    int64_t next_event_id_ = 0;
     std::vector<std::string> category_stack_;
     std::map<std::string, SimTime> category_time_;
     std::optional<OneTimeWarmup> one_time_warmup_;
@@ -300,6 +343,23 @@ class Runtime {
     int64_t transfer_count_ = 0;
     SimTime sync_wait_us_ = 0.0;
     SimTime transfer_time_us_ = 0.0;
+};
+
+/// RAII helper declaring a logical-resource footprint for the duration of
+/// a scope (see RuntimeObserver / AccessSet). Observational only.
+class AccessScope {
+  public:
+    AccessScope(Runtime& runtime, AccessSet set) : runtime_(runtime)
+    {
+        runtime_.PushAccess(std::move(set));
+    }
+    ~AccessScope() { runtime_.PopAccess(); }
+
+    AccessScope(const AccessScope&) = delete;
+    AccessScope& operator=(const AccessScope&) = delete;
+
+  private:
+    Runtime& runtime_;
 };
 
 /// RAII helper pushing a category for the duration of a scope.

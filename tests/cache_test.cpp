@@ -211,7 +211,7 @@ TEST(RuntimeCacheTest, GatherChargesMissesToPcieAndHitsToDevice)
     sim::Runtime runtime = models::MakeRuntime(sim::ExecMode::kHybrid);
     runtime.ResetMeasurementWindow();
     runtime.GatherToDevice(4, 6, 256, "state");
-    runtime.Synchronize();
+    (void)runtime.Synchronize();
 
     EXPECT_EQ(runtime.BytesToDevice(), 6 * 256);  // misses only
     EXPECT_EQ(runtime.CacheHitBytes(), 4 * 256);
@@ -581,6 +581,7 @@ struct ReferenceCache {
     int64_t Flush()
     {
         int64_t flushed = 0;
+        // determinism-ok: order-independent count-and-clear
         for (auto& [key, is_dirty] : dirty) {
             if (is_dirty) {
                 is_dirty = false;

@@ -124,7 +124,7 @@ TEST(TraceAnalysisTest, UtilizationTimelineCoverage)
 {
     sim::Runtime rt = MakeRuntime();
     rt.Launch(Kernel());
-    rt.Synchronize();
+    (void)rt.Synchronize();
     const std::string gpu = rt.Gpu().Name();
     const auto timeline =
         UtilizationTimeline(rt.GetTrace(), gpu, 0.0, rt.Now(), rt.Now() / 4.0);
@@ -145,7 +145,7 @@ TEST(TraceAnalysisTest, BusyAndTransferQueries)
     rt.Launch(Kernel());
     rt.CopyToDevice(1 << 20, "in");
     rt.CopyToHost(1 << 10, "out");
-    rt.Synchronize();
+    (void)rt.Synchronize();
     const std::string gpu = rt.Gpu().Name();
     EXPECT_GT(DeviceBusyTime(rt.GetTrace(), gpu, 0.0, rt.Now()), 0.0);
     EXPECT_EQ(TransferredBytes(rt.GetTrace(), sim::CopyDirection::kHostToDevice, 0.0,
@@ -163,7 +163,7 @@ TEST(TraceAnalysisTest, ChromeTraceJsonWellFormed)
 {
     sim::Runtime rt = MakeRuntime();
     rt.Launch(Kernel());
-    rt.Synchronize();
+    (void)rt.Synchronize();
     const std::string json = ToChromeTraceJson(rt.GetTrace());
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.back(), '}');
@@ -177,7 +177,7 @@ TEST(BottleneckTest, TemporalDependencySeverityForTinyKernels)
     rt.ResetMeasurementWindow();
     for (int i = 0; i < 20; ++i) {
         rt.Launch(Kernel(1000, 1));
-        rt.Synchronize();
+        (void)rt.Synchronize();
         rt.RunHostFor("gap", 500.0);  // long CPU gaps -> low utilization
     }
     const TemporalDependencyReport r = AnalyzeTemporalDependency(rt);
@@ -193,7 +193,7 @@ TEST(BottleneckTest, WorkloadImbalanceDetectsCpuBound)
     rt.ResetMeasurementWindow();
     rt.RunHostFor("sampling", 10000.0);
     rt.Launch(Kernel());
-    rt.Synchronize();
+    (void)rt.Synchronize();
     const WorkloadImbalanceReport r = AnalyzeWorkloadImbalance(rt);
     EXPECT_GT(r.cpu_busy_us, r.gpu_busy_us);
     EXPECT_GT(r.imbalance_ratio, 1.5);
@@ -206,7 +206,7 @@ TEST(BottleneckTest, DataMovementShare)
     rt.ResetMeasurementWindow();
     rt.CopyToDevice(64 << 20, "big");
     rt.Launch(Kernel());
-    rt.Synchronize();
+    (void)rt.Synchronize();
     const DataMovementReport r = AnalyzeDataMovement(rt);
     EXPECT_EQ(r.h2d_bytes, 64 << 20);
     EXPECT_GT(r.transfer_share_pct, 40.0);
@@ -219,7 +219,7 @@ TEST(BottleneckTest, WarmupRatioAndReportText)
     rt.EnsureWarm(1 << 20);
     rt.ResetMeasurementWindow();
     rt.Launch(Kernel());
-    rt.Synchronize();
+    (void)rt.Synchronize();
     const BottleneckReport report =
         AnalyzeAll(rt, "TestModel", "bs=32", 12.0, 1000.0);
     EXPECT_GT(report.warmup.one_time_vs_iteration, 30.0);

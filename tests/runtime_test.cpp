@@ -149,7 +149,7 @@ TEST(RuntimeTest, CategoryAccountingPartitionsElapsed)
         CategoryScope scope(rt, "Phase B");
         rt.RunHostFor("b", 30.0);
         rt.Launch(SmallKernel());
-        rt.Synchronize();
+        (void)rt.Synchronize();
     }
     const auto& cats = rt.CategoryTimes();
     double total = 0.0;
@@ -194,7 +194,7 @@ TEST(RuntimeTest, UtilizationReflectsBusyFraction)
     Runtime rt(HybridConfig());
     rt.ResetMeasurementWindow();
     rt.Launch(SmallKernel());
-    rt.Synchronize();
+    (void)rt.Synchronize();
     rt.RunHostFor("idle_gpu", rt.ElapsedInWindow());  // double the window
     const double util = rt.ComputeUtilizationPct();
     EXPECT_GT(util, 0.0);
@@ -295,7 +295,7 @@ TEST(RuntimeTest, RecordEventOnIdleStreamCompletesImmediately)
     // Nothing is queued: the event is already complete at record time.
     EXPECT_DOUBLE_EQ(e.ready_us, rt.Now());
     const SimTime before = rt.Now();
-    rt.WaitEvent(e);
+    (void)rt.WaitEvent(e);
     EXPECT_DOUBLE_EQ(rt.Now(), before);
     EXPECT_DOUBLE_EQ(rt.SyncWaitTime(), 0.0);
 }
@@ -308,7 +308,7 @@ TEST(RuntimeTest, AsyncPrimitivesAreNoOpsInCpuMode)
     EXPECT_DOUBLE_EQ(rt.CopyToHostAsync(1 << 20, "d2h"), t0);
     const Event e = rt.RecordEvent(StreamId::kCopy);
     rt.StreamWaitEvent(StreamId::kCompute, e);
-    rt.WaitEvent(e);
+    (void)rt.WaitEvent(e);
     EXPECT_DOUBLE_EQ(rt.Now(), t0);
     EXPECT_EQ(rt.BytesToDevice(), 0);
     EXPECT_EQ(rt.TransferCount(), 0);
@@ -319,7 +319,7 @@ TEST(RuntimeTest, SynchronizeDrainsCopyStreamToo)
     Runtime rt(HybridConfig());
     const SimTime copy_end = rt.CopyToDeviceAsync(16 << 20, "big_h2d");
     EXPECT_LT(rt.Now(), copy_end);
-    rt.Synchronize();
+    (void)rt.Synchronize();
     EXPECT_DOUBLE_EQ(rt.Now(), copy_end);
 }
 
@@ -335,14 +335,14 @@ TEST(RuntimeTest, AsyncCopyOverlapsComputeAcrossStreams)
 
     Runtime serial(HybridConfig());
     serial.Launch(big);
-    serial.Synchronize();
+    (void)serial.Synchronize();
     serial.CopyToDevice(32 << 20, "h2d");
     const SimTime serial_total = serial.Now();
 
     Runtime overlapped(HybridConfig());
     overlapped.Launch(big);
-    overlapped.CopyToDeviceAsync(32 << 20, "h2d");
-    overlapped.Synchronize();
+    (void)overlapped.CopyToDeviceAsync(32 << 20, "h2d");
+    (void)overlapped.Synchronize();
     const SimTime overlapped_total = overlapped.Now();
 
     EXPECT_LT(overlapped_total, serial_total);
@@ -405,7 +405,7 @@ TEST(RuntimeTest, TraceRecordsAllEventKinds)
     rt.RunHostFor("host", 1.0);
     rt.Launch(SmallKernel());
     rt.CopyToDevice(100, "h2d");
-    rt.Synchronize();
+    (void)rt.Synchronize();
     rt.Marker("done");
     bool saw_host = false;
     bool saw_kernel = false;
@@ -429,7 +429,7 @@ TEST(RuntimeTest, TraceTimestampsAreOrderedPerDevice)
     for (int i = 0; i < 5; ++i) {
         rt.Launch(SmallKernel());
     }
-    rt.Synchronize();
+    (void)rt.Synchronize();
     SimTime prev_end = 0.0;
     for (const TraceEvent& e : rt.GetTrace().Events()) {
         if (e.kind == EventKind::kKernel) {
@@ -454,13 +454,13 @@ TEST(RuntimeTest, GpuSlowerForTinySerializedKernels)
     gpu.ResetMeasurementWindow();
     for (int i = 0; i < 100; ++i) {
         gpu.Launch(tiny);
-        gpu.Synchronize();
+        (void)gpu.Synchronize();
     }
     Runtime cpu(CpuConfig());
     cpu.ResetMeasurementWindow();
     for (int i = 0; i < 100; ++i) {
         cpu.Launch(tiny);
-        cpu.Synchronize();
+        (void)cpu.Synchronize();
     }
     EXPECT_GT(gpu.ElapsedInWindow(), cpu.ElapsedInWindow());
 }
@@ -476,7 +476,7 @@ TEST(RuntimeTest, GpuFasterForLargeParallelKernels)
     Runtime gpu(HybridConfig());
     gpu.ResetMeasurementWindow();
     gpu.Launch(big);
-    gpu.Synchronize();
+    (void)gpu.Synchronize();
     Runtime cpu(CpuConfig());
     cpu.ResetMeasurementWindow();
     cpu.Launch(big);
