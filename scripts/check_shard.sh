@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the shard-scaling sweep and verifies both of its artifacts:
+#   1. the text summary is byte-identical to docs/expected/
+#      bench_shard_scaling.txt (the determinism gate for the scale-out
+#      serving path), and
+#   2. BENCH_shard_scaling.json passes compare_bench.py against the
+#      committed baseline docs/expected/BENCH_shard_scaling.json
+#      (the cross-PR perf-trajectory gate).
+# Registered as the `shard_scaling_diff` CTest (label: shard).
+#
+# Usage: check_shard.sh <bench-binary> <workdir>
+set -euo pipefail
+
+bench=$1
+workdir=$2
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+mkdir -p "$workdir"
+cd "$workdir"
+
+"$bench" > bench_shard_scaling.txt
+diff -u "$repo/docs/expected/bench_shard_scaling.txt" bench_shard_scaling.txt
+
+if command -v python3 > /dev/null; then
+    python3 -c "import json; json.load(open('BENCH_shard_scaling.json'))"
+    "$repo/scripts/compare_bench.py" \
+        "$repo/docs/expected/BENCH_shard_scaling.json" \
+        BENCH_shard_scaling.json > /dev/null
+else
+    echo "note: python3 not found; skipped JSON validation"
+fi
+
+echo "shard scaling matches docs/expected/ and the JSON baseline"

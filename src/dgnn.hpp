@@ -44,6 +44,7 @@
 #include "sim/runtime_observer.hpp"
 #include "sim/sim_time.hpp"
 #include "sim/stream.hpp"
+#include "sim/topology.hpp"
 #include "sim/trace.hpp"
 #include "sim/warmup.hpp"
 
@@ -89,6 +90,12 @@
 #include "serve/observer.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
+#include "serve/shard_hook.hpp"
+
+// Scale-out sharded serving (partitioned node state across a topology)
+#include "shard/exchange.hpp"
+#include "shard/partition_book.hpp"
+#include "shard/sharded_server.hpp"
 
 // Serving observability (span tracing, metrics, bottleneck attribution)
 #include "obs/attribution.hpp"

@@ -18,16 +18,18 @@ ToString(BottleneckCategory category)
         return "transfer";
       case BottleneckCategory::kCompute:
         return "compute";
+      case BottleneckCategory::kCrossShard:
+        return "cross-shard";
     }
     return "?";
 }
 
 BottleneckCategory
 Classify(double queueing_us, double host_us, double transfer_us,
-         double compute_us)
+         double compute_us, double cross_shard_us)
 {
     const std::array<double, kNumBottleneckCategories> components = {
-        queueing_us, host_us, transfer_us, compute_us};
+        queueing_us, host_us, transfer_us, compute_us, cross_shard_us};
     size_t best = 0;
     for (size_t i = 1; i < components.size(); ++i) {
         // Strict > keeps ties on the earlier enum value.
@@ -80,7 +82,8 @@ AttributionSummary::DominantByTime() const
         total_us[static_cast<size_t>(BottleneckCategory::kQueueing)],
         total_us[static_cast<size_t>(BottleneckCategory::kHost)],
         total_us[static_cast<size_t>(BottleneckCategory::kTransfer)],
-        total_us[static_cast<size_t>(BottleneckCategory::kCompute)]);
+        total_us[static_cast<size_t>(BottleneckCategory::kCompute)],
+        total_us[static_cast<size_t>(BottleneckCategory::kCrossShard)]);
 }
 
 void
@@ -102,7 +105,9 @@ BottleneckAttributor::OnBatch(const serve::BatchObservation& ob)
     a.transfer_us = (s.h2d_done_us - s.host_done_us) +
                     (s.complete_us - s.compute_done_us);
     a.compute_us = s.compute_done_us - s.h2d_done_us;
-    a.dominant = Classify(a.queueing_us, a.host_us, a.transfer_us, a.compute_us);
+    a.cross_shard_us = ob.exchange.link_us;
+    a.dominant = Classify(a.queueing_us, a.host_us, a.transfer_us,
+                          a.compute_us, a.cross_shard_us);
     batches_.push_back(a);
 }
 
@@ -121,6 +126,9 @@ BottleneckAttributor::Summary() const
             a.transfer_us;
         summary.total_us[static_cast<size_t>(BottleneckCategory::kCompute)] +=
             a.compute_us;
+        summary
+            .total_us[static_cast<size_t>(BottleneckCategory::kCrossShard)] +=
+            a.cross_shard_us;
     }
     return summary;
 }

@@ -27,15 +27,19 @@
 
 namespace dgnn::obs {
 
-/// The dominant-cost taxonomy.
+/// The dominant-cost taxonomy. kCrossShard (the peer-link time a batch's
+/// alltoall exchange occupied — sharded serving only) is appended LAST so
+/// every pre-scale-out consumer indexing the first four categories, and
+/// every unsharded run (where it is identically zero), is unaffected.
 enum class BottleneckCategory {
     kQueueing,
     kHost,
     kTransfer,
     kCompute,
+    kCrossShard,
 };
 
-inline constexpr int kNumBottleneckCategories = 4;
+inline constexpr int kNumBottleneckCategories = 5;
 
 const char* ToString(BottleneckCategory category);
 
@@ -46,18 +50,26 @@ struct BatchAttribution {
     double host_us = 0.0;
     double transfer_us = 0.0;
     double compute_us = 0.0;
+    /// Peer-link occupancy of the batch's cross-shard exchange. NOTE: the
+    /// exchange overlaps the stage it delays (the copy stream), so unlike
+    /// the other four this component does not extend the span telescope —
+    /// it over-covers in sharded runs and is zero otherwise.
+    double cross_shard_us = 0.0;
     BottleneckCategory dominant = BottleneckCategory::kQueueing;
 
     double TotalUs() const
     {
-        return queueing_us + host_us + transfer_us + compute_us;
+        return queueing_us + host_us + transfer_us + compute_us +
+               cross_shard_us;
     }
 };
 
 /// Largest component wins; ties break in enum order (queueing first),
-/// deterministically.
+/// deterministically. The defaulted cross-shard component keeps every
+/// pre-scale-out call site's verdicts unchanged.
 BottleneckCategory Classify(double queueing_us, double host_us,
-                            double transfer_us, double compute_us);
+                            double transfer_us, double compute_us,
+                            double cross_shard_us = 0.0);
 
 /// Run-level aggregate of per-batch verdicts.
 struct AttributionSummary {

@@ -18,6 +18,7 @@
 #include "cache/device_cache.hpp"
 #include "serve/executor.hpp"
 #include "serve/request.hpp"
+#include "serve/shard_hook.hpp"
 #include "sim/runtime.hpp"
 
 namespace dgnn::serve {
@@ -50,6 +51,9 @@ struct BatchObservation {
     BatchSpans spans;
     /// The batch's resolved cache outcome (all-zero for uncached sessions).
     CacheBatchCost cache_cost;
+    /// The batch's cross-shard exchange cost (all-zero without a shard
+    /// hook — i.e. in every unsharded run).
+    ExchangeCost exchange;
     /// The captured cost profile the executor issued.
     const BatchProfile* profile = nullptr;
     /// The member requests, oldest first, with ABSOLUTE arrival timestamps.

@@ -62,7 +62,12 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
                               }),
                "arrival timestamps must be sorted");
 
-    sim::Runtime runtime = models::MakeRuntime(session.Mode());
+    // Unset runtime_config reproduces models::MakeRuntime(mode) — a default
+    // config with only the mode set — bit-for-bit.
+    sim::RuntimeConfig runtime_config =
+        options.runtime_config.value_or(sim::RuntimeConfig{});
+    runtime_config.mode = session.Mode();
+    sim::Runtime runtime{std::move(runtime_config)};
     runtime.SetObserver(options.runtime_observer);
     const cache::CacheStats cache_stats_before = session.Cache().Stats();
     std::unique_ptr<BatchExecutor> executor = MakeExecutor(runtime, options);
@@ -151,11 +156,17 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
             // drops state movement — not even in mixed or half-blind
             // batches.
             CacheBatchCost cache_cost;
-            if (session.CacheEnabled()) {
-                cache_cost.row_bytes = profile.state_row_bytes;
-                std::vector<int64_t> nodes;
+            ExchangeCost exchange;
+            // The shard hook needs the batch's unique nodes even for
+            // uncached sessions (sharded read-only feature tables still pay
+            // the exchange); without a hook the collection stays gated on
+            // the cache exactly as before.
+            const bool want_nodes =
+                session.CacheEnabled() || options.shard_hook != nullptr;
+            std::vector<int64_t> nodes;
+            int64_t blind_endpoints = 0;
+            if (want_nodes) {
                 nodes.reserve(static_cast<size_t>(2 * decision.dispatch));
-                int64_t blind_endpoints = 0;
                 for (int64_t i = 0; i < decision.dispatch; ++i) {
                     const Request& r = queue[static_cast<size_t>(i)];
                     for (const int64_t node : {r.src, r.dst}) {
@@ -167,6 +178,14 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
                     }
                 }
                 cache::SortUnique(nodes);
+            }
+            if (options.shard_hook != nullptr) {
+                // Remote-owned nodes leave the batch's local gather; their
+                // rows arrive through the exchange issued below.
+                (void)options.shard_hook->ClaimRemote(nodes);
+            }
+            if (session.CacheEnabled()) {
+                cache_cost.row_bytes = profile.state_row_bytes;
                 cache_cost.rows_mutable = session.CacheRowsMutable();
                 if (!nodes.empty()) {
                     const cache::GatherResult g = session.Cache().Gather(
@@ -196,6 +215,14 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
                 }
             }
 
+            if (options.shard_hook != nullptr) {
+                // The exchange lands on the run's streams ahead of the
+                // batch's own work, so stream ordering alone serializes
+                // them; an empty claim issues nothing (1-shard identity).
+                exchange = options.shard_hook->IssueExchange(runtime);
+                report.exchange += exchange;
+            }
+
             BatchSpans spans;
             const sim::SimTime completion = executor->Submit(
                 profile, cache_cost, observer != nullptr ? &spans : nullptr);
@@ -208,6 +235,7 @@ ServeRequests(ModelSession& session, BatchPolicy& policy,
                 ob.queue_depth = static_cast<int64_t>(queue.size());
                 ob.spans = spans;
                 ob.cache_cost = cache_cost;
+                ob.exchange = exchange;
                 ob.profile = &profile;
                 ob.requests.assign(queue.begin(),
                                    queue.begin() + decision.dispatch);

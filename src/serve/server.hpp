@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "serve/model_session.hpp"
 #include "serve/observer.hpp"
 #include "serve/request.hpp"
+#include "serve/shard_hook.hpp"
 
 namespace dgnn::serve {
 
@@ -52,6 +54,16 @@ struct ServerOptions {
     /// default — keeps the run bit-identical and skips all access
     /// annotation work.
     sim::RuntimeObserver* runtime_observer = nullptr;
+    /// Optional runtime configuration for the run (scale-out: a topology
+    /// node per shard). The execution mode is always overridden from the
+    /// session; unset — the default — reproduces the historical
+    /// models::MakeRuntime(mode) runtime bit-for-bit.
+    std::optional<sim::RuntimeConfig> runtime_config;
+    /// Optional per-batch shard intercept (src/shard/): claims the batch
+    /// nodes owned by remote shards and issues the priced alltoall
+    /// exchange before the batch executes. Null — the default — skips the
+    /// seam entirely. Borrowed; must outlive the run.
+    BatchShardHook* shard_hook = nullptr;
 };
 
 /// Everything one serving run produces.
@@ -85,6 +97,9 @@ struct ServingReport {
     /// Device-cache counters for THIS run (delta of the session cache,
     /// which stays warm across runs). All zero for uncached sessions.
     cache::CacheStats cache_stats;
+    /// Cross-shard exchange totals across the run's batches (all-zero
+    /// without a shard hook — every unsharded run).
+    ExchangeCost exchange;
 };
 
 /// Runs one serving simulation of @p arrivals (relative timestamps, sorted)

@@ -46,6 +46,8 @@ ToString(OpKind kind)
         return "copy_h2d";
       case OpKind::kCopyD2H:
         return "copy_d2h";
+      case OpKind::kCopyPeer:
+        return "copy_peer";
     }
     return "?";
 }
@@ -76,8 +78,28 @@ DeviceBuffer::Release()
     }
 }
 
+namespace {
+
+/// Resolves a topology-carrying config to its node's concrete parameters,
+/// so everything downstream reads one flat set of knobs. A config without
+/// a topology passes through untouched (the historical single pair).
+RuntimeConfig
+ResolveTopology(RuntimeConfig config)
+{
+    if (config.topology.has_value()) {
+        const TopologyNode& node = config.topology->NodeAt(config.device_index);
+        config.cpu = node.cpu;
+        config.gpu = node.gpu;
+        config.pcie_bandwidth_gbps = node.host_link.bandwidth_gbps;
+        config.pcie_latency_us = node.host_link.latency_us;
+    }
+    return config;
+}
+
+}  // namespace
+
 Runtime::Runtime(RuntimeConfig config)
-    : config_(std::move(config)),
+    : config_(ResolveTopology(std::move(config))),
       cpu_(config_.cpu),
       gpu_(config_.gpu),
       pcie_(config_.pcie_bandwidth_gbps, config_.pcie_latency_us),
@@ -86,6 +108,25 @@ Runtime::Runtime(RuntimeConfig config)
 {
     DGNN_CHECK(config_.cpu.kind == DeviceKind::kCpu, "cpu spec must be a CPU");
     DGNN_CHECK(config_.gpu.kind == DeviceKind::kGpu, "gpu spec must be a GPU");
+    if (config_.topology.has_value()) {
+        const Topology& topo = *config_.topology;
+        peer_links_.reserve(static_cast<size_t>(topo.DeviceCount()));
+        for (int32_t peer = 0; peer < topo.DeviceCount(); ++peer) {
+            // The self entry keeps the indexing direct; it is never used.
+            const LinkSpec& link = peer == config_.device_index
+                                       ? LinkSpec::PcieGen4()
+                                       : topo.PeerLink(config_.device_index,
+                                                       peer);
+            peer_links_.emplace_back(link.bandwidth_gbps, link.latency_us);
+        }
+    }
+}
+
+const LinkSpec&
+Runtime::PeerLinkSpec(int32_t peer) const
+{
+    DGNN_CHECK(HasTopology(), "PeerLinkSpec requires a topology");
+    return config_.topology->PeerLink(config_.device_index, peer);
 }
 
 Device&
@@ -434,6 +475,41 @@ Runtime::CopyToHostAsync(int64_t bytes, const std::string& what)
     return iv.end;
 }
 
+SimTime
+Runtime::PeerCopyAsync(int32_t peer, int64_t bytes, const std::string& what)
+{
+    DGNN_CHECK(HasTopology(), "PeerCopyAsync requires a topology");
+    DGNN_CHECK(peer >= 0 && peer < ClusterDevices() &&
+                   peer != config_.device_index,
+               "invalid peer ", peer, " for device ", config_.device_index,
+               " in a ", ClusterDevices(), "-device topology");
+    DGNN_CHECK(bytes >= 0, "negative peer-copy size ", bytes);
+    if (!HasGpu()) {
+        return host_time_;
+    }
+    // Same submission semantics as the pinned async copies: the host only
+    // submits; the transfer runs once both the directed peer link and the
+    // copy stream are free.
+    AdvanceHost(config_.submit_overhead_us);
+    const SimTime earliest = std::max(host_time_, copy_stream_.ReadyTime());
+    const Stream::Interval iv =
+        peer_links_[static_cast<size_t>(peer)].Schedule(earliest, bytes);
+    copy_stream_.Enqueue(iv.end, 0.0);
+    peer_bytes_ += bytes;
+    ++peer_copy_count_;
+    peer_link_time_us_ += iv.end - iv.start;
+
+    TraceEvent e = MakeEvent(EventKind::kTransfer, what,
+                             std::string("peer:") +
+                                 ToString(PeerLinkSpec(peer).kind),
+                             iv.start, iv.end);
+    e.bytes = bytes;
+    trace_.Add(std::move(e));
+    NotifyOp(OpKind::kCopyPeer, what, /*on_host=*/false, StreamId::kCopy,
+             /*blocking=*/false, iv.start, iv.end, bytes);
+    return iv.end;
+}
+
 Event
 Runtime::RecordEvent(StreamId stream)
 {
@@ -597,6 +673,9 @@ Runtime::ResetMeasurementWindow()
     d2h_bytes_ = 0;
     cache_hit_bytes_ = 0;
     transfer_count_ = 0;
+    peer_bytes_ = 0;
+    peer_copy_count_ = 0;
+    peer_link_time_us_ = 0.0;
     sync_wait_us_ = 0.0;
     transfer_time_us_ = 0.0;
     category_time_.clear();

@@ -31,6 +31,7 @@
 #include "sim/pcie.hpp"
 #include "sim/runtime_observer.hpp"
 #include "sim/stream.hpp"
+#include "sim/topology.hpp"
 #include "sim/trace.hpp"
 #include "sim/warmup.hpp"
 
@@ -55,6 +56,13 @@ struct RuntimeConfig {
     SimTime submit_overhead_us = 1.5;
     /// Host-side cost of recording an event or enqueueing a stream wait, us.
     SimTime event_overhead_us = 0.5;
+    /// Optional N-device cluster topology (scale-out). When set, this
+    /// runtime models topology node @p device_index: cpu/gpu/pcie_* above
+    /// are overridden from that node, and PeerCopyAsync prices transfers to
+    /// the other devices through the topology's peer links. Unset (the
+    /// default) keeps the historical single-pair behavior bit-for-bit.
+    std::optional<Topology> topology;
+    int32_t device_index = 0;
 };
 
 /// The runtime's device-side in-order queues.
@@ -123,6 +131,23 @@ class Runtime {
     const Device& ComputeDevice() const { return HasGpu() ? gpu_ : cpu_; }
 
     PcieLink& Pcie() { return pcie_; }
+
+    /// --- Topology (scale-out) -------------------------------------------
+
+    /// Whether this runtime models one node of an N-device topology.
+    bool HasTopology() const { return config_.topology.has_value(); }
+
+    /// This runtime's node index in the topology (0 without one).
+    int32_t DeviceIndex() const { return config_.device_index; }
+
+    /// Devices in the cluster this runtime belongs to (1 without topology).
+    int32_t ClusterDevices() const
+    {
+        return HasTopology() ? config_.topology->DeviceCount() : 1;
+    }
+
+    /// The directed link from this device to @p peer. Requires a topology.
+    const LinkSpec& PeerLinkSpec(int32_t peer) const;
 
     /// Current host (CPU thread) simulated time, us.
     SimTime Now() const { return host_time_; }
@@ -217,6 +242,16 @@ class Runtime {
     [[nodiscard]] SimTime CopyToHostAsync(int64_t bytes,
                                           const std::string& what);
 
+    /// Asynchronous device->device transfer from topology peer @p peer into
+    /// this device, priced through the directed peer link (its own
+    /// contended queue) and landing on the copy stream like the pinned
+    /// copies above. Ordering against compute is the caller's
+    /// responsibility (RecordEvent + StreamWaitEvent). Requires a topology;
+    /// no-op (returns Now()) in CPU-only mode. Counted in PeerBytes(), not
+    /// in the host-link H2D/D2H counters.
+    [[nodiscard]] SimTime PeerCopyAsync(int32_t peer, int64_t bytes,
+                                        const std::string& what);
+
     /// Records an event on @p stream: it completes when all work currently
     /// enqueued there has finished (immediately if the stream is idle). In
     /// CPU-only mode events complete at the current host time. A recorded
@@ -288,6 +323,12 @@ class Runtime {
     int64_t BytesToHost() const { return d2h_bytes_; }
     int64_t TransferCount() const { return transfer_count_; }
 
+    /// Cross-device (peer-link) traffic in this measurement window.
+    int64_t PeerBytes() const { return peer_bytes_; }
+    int64_t PeerCopyCount() const { return peer_copy_count_; }
+    /// Time the peer links spent occupied by this window's peer copies.
+    SimTime PeerLinkTime() const { return peer_link_time_us_; }
+
     /// Host time spent blocked in Synchronize() since window reset.
     SimTime SyncWaitTime() const { return sync_wait_us_; }
 
@@ -326,6 +367,9 @@ class Runtime {
     Device cpu_;
     Device gpu_;
     PcieLink pcie_;
+    /// One contended queue per topology peer (self entry never scheduled);
+    /// empty without a topology.
+    std::vector<PcieLink> peer_links_;
     Stream compute_stream_;
     Stream copy_stream_;
     SimTime host_time_ = 0.0;
@@ -341,6 +385,9 @@ class Runtime {
     int64_t d2h_bytes_ = 0;
     int64_t cache_hit_bytes_ = 0;
     int64_t transfer_count_ = 0;
+    int64_t peer_bytes_ = 0;
+    int64_t peer_copy_count_ = 0;
+    SimTime peer_link_time_us_ = 0.0;
     SimTime sync_wait_us_ = 0.0;
     SimTime transfer_time_us_ = 0.0;
 };

@@ -42,10 +42,11 @@ struct AccessSet {
 
 /// What kind of operation an OpRecord describes.
 enum class OpKind {
-    kHostOp,   ///< synchronous CPU work (RunHost / RunHostFor)
-    kKernel,   ///< compute kernel (async on the compute stream when hybrid)
-    kCopyH2D,  ///< host->device transfer
-    kCopyD2H,  ///< device->host transfer
+    kHostOp,    ///< synchronous CPU work (RunHost / RunHostFor)
+    kKernel,    ///< compute kernel (async on the compute stream when hybrid)
+    kCopyH2D,   ///< host->device transfer
+    kCopyD2H,   ///< device->host transfer
+    kCopyPeer,  ///< device->device transfer over a topology peer link
 };
 
 const char* ToString(OpKind kind);

@@ -490,6 +490,30 @@ TEST(MutationWallTest, EveryMutationIsDetected)
     }
 }
 
+TEST(MutationWallTest, IntactExchangeScheduleIsClean)
+{
+    for (const uint64_t seed : kMutationSeeds) {
+        const HazardReport report = RunMutatedExchange(SyncEdge::kNone, seed);
+        EXPECT_TRUE(report.Clean()) << "seed " << seed << "\n"
+                                    << report.ToText();
+        EXPECT_GT(report.ops, 0);
+    }
+}
+
+TEST(MutationWallTest, DroppedExchangeFenceIsRawOnExchangeBuffer)
+{
+    for (const uint64_t seed : kMutationSeeds) {
+        const HazardReport report =
+            RunMutatedExchange(SyncEdge::kExchangeFence, seed);
+        ASSERT_FALSE(report.Clean()) << "seed " << seed;
+        // The unpack kernel scatters staged rows the peer pull has not
+        // landed yet.
+        EXPECT_TRUE(HasHazard(report, HazardKind::kRaw, "exchange_in"))
+            << report.ToText();
+        ExpectFamiliesWithin(report, {"exchange_in"});
+    }
+}
+
 // ------------------------------------------------------------ serving sweep
 
 data::InteractionDataset
