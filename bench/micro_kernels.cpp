@@ -11,6 +11,8 @@
 #include "nn/attention.hpp"
 #include "nn/gcn.hpp"
 #include "nn/rnn_cell.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/fusion.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
 
@@ -137,6 +139,41 @@ BM_TBatchBuild(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_TBatchBuild)->Arg(1000)->Arg(10000);
+
+// A JODIE-style launch-bound t-batch chain (4 narrow launches -> 1 fused)
+// at the given t-batch width. Wall-clock measures the collapse + pricing
+// path itself; the counters report what the simulator charges for the chain
+// fused vs unfused on the GPU spec (sim_speedup is the launch-overhead
+// reduction the fusion layer buys per t-batch).
+void
+BM_FusedChain(benchmark::State& state)
+{
+    const int64_t m = state.range(0);  // t-batch rows
+    const int64_t d = 64;              // embed dim
+    sim::FusedKernelDesc fused;
+    fused.name = "jodie_tbatch_fused";
+    fused.parts = {
+        {"project_user", m * d, m * d * 8, m, false},
+        {"predict_item", 2 * m * d * d, m * d * 8, m, false},
+        {"rnn_update", 6 * m * d * d, m * d * 12, m, false},
+        {"rnn_update", 6 * m * d * d, m * d * 12, m, false},
+    };
+    fused.intermediate_bytes = {m * d * 4, 0, 0};
+
+    const sim::DeviceSpec gpu = sim::DeviceSpec::RtxA6000();
+    double fused_us = 0.0;
+    double unfused_us = 0.0;
+    for (auto _ : state) {
+        fused_us = sim::FusedDuration(gpu, fused);
+        unfused_us = sim::UnfusedDuration(gpu, fused);
+        benchmark::DoNotOptimize(fused_us);
+        benchmark::DoNotOptimize(unfused_us);
+    }
+    state.counters["sim_unfused_us"] = unfused_us;
+    state.counters["sim_fused_us"] = fused_us;
+    state.counters["sim_speedup"] = unfused_us / fused_us;
+}
+BENCHMARK(BM_FusedChain)->Arg(1)->Arg(16)->Arg(256);
 
 }  // namespace
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Runs the fusion + hybrid-dispatch ablation and verifies its artifacts:
+#   1. the text summary is byte-identical to docs/expected/
+#      bench_fusion_dispatch.txt (the determinism gate for the fusion and
+#      dispatch paths),
+#   2. BENCH_fusion_dispatch.json passes compare_bench.py against the
+#      committed baseline (the cross-PR perf-trajectory gate), and
+#   3. the PR's two acceptance claims hold in the fresh JSON:
+#        (a) at least one launch-bound cell cuts launch overhead >= 2x
+#            when its registered chains are fused, and
+#        (b) the hybrid dispatcher's sustained QPS >= every static
+#            placement in every serving cell (predict-then-place never
+#            loses to a fixed placement).
+# Registered as the `fusion_dispatch_diff` CTest (label: fusion).
+#
+# Usage: check_fusion.sh <bench-binary> <workdir>
+set -euo pipefail
+
+bench=$1
+workdir=$2
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+mkdir -p "$workdir"
+cd "$workdir"
+
+"$bench" > bench_fusion_dispatch.txt
+diff -u "$repo/docs/expected/bench_fusion_dispatch.txt" bench_fusion_dispatch.txt
+
+if command -v python3 > /dev/null; then
+    python3 - << 'EOF'
+import json
+
+records = json.load(open("BENCH_fusion_dispatch.json"))["records"]
+
+ablation = [r for r in records if r["table"] == "launch_ablation"]
+assert ablation, "no launch_ablation records"
+best = max(r["launch_reduction"] for r in ablation)
+assert best >= 2.0, f"no launch-bound cell reaches a 2x reduction (best {best})"
+
+sweep = [r for r in records if r["table"] == "serving_sweep"]
+assert sweep, "no serving_sweep records"
+cells = {}
+for r in sweep:
+    cells.setdefault((r["model"], r["offered"]), {})[r["mode"]] = r
+for key, by_mode in cells.items():
+    hybrid = by_mode["hybrid"]["achieved_qps"]
+    for mode, r in by_mode.items():
+        assert hybrid >= r["achieved_qps"], (
+            f"hybrid ({hybrid}) loses to {mode} ({r['achieved_qps']}) in {key}")
+
+print(f"acceptance ok: best launch reduction {best}x, "
+      f"hybrid >= statics in {len(cells)} cells")
+EOF
+    "$repo/scripts/compare_bench.py" \
+        "$repo/docs/expected/BENCH_fusion_dispatch.json" \
+        BENCH_fusion_dispatch.json > /dev/null
+else
+    echo "note: python3 not found; skipped JSON validation"
+fi
+
+echo "fusion dispatch matches docs/expected/ and the JSON baseline"

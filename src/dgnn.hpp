@@ -38,6 +38,7 @@
 // Hardware simulator
 #include "sim/device.hpp"
 #include "sim/device_spec.hpp"
+#include "sim/fusion.hpp"
 #include "sim/kernel.hpp"
 #include "sim/pcie.hpp"
 #include "sim/runtime.hpp"
@@ -76,11 +77,15 @@
 #include "models/dgnn_model.hpp"
 #include "models/dyrep.hpp"
 #include "models/evolvegcn.hpp"
+#include "models/fusion_catalog.hpp"
 #include "models/jodie.hpp"
 #include "models/ldg.hpp"
 #include "models/moldgnn.hpp"
 #include "models/tgat.hpp"
 #include "models/tgn.hpp"
+
+// Per-batch hybrid dispatch (predict-then-place over the cost model)
+#include "dispatch/dispatcher.hpp"
 
 // Online inference serving
 #include "serve/arrival_source.hpp"

@@ -51,6 +51,12 @@ struct RunConfig {
     /// is the pre-cache baseline bit-for-bit. The model overrides
     /// cache.row_bytes with its own state row width.
     cache::DeviceCacheConfig cache;
+    /// Launch the model's registered hot chains (models/fusion_catalog) as
+    /// single collapsed kernels (sim/fusion). Cost-shape only: the host
+    /// numerics are untouched, so checksums are identical; false — the
+    /// default — reproduces the historical unfused launch sequence
+    /// bit-for-bit.
+    bool fuse_kernels = false;
 };
 
 /// Everything a measured inference run produces.

@@ -1,0 +1,57 @@
+#include "models/fusion_catalog.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace dgnn::models {
+
+const std::vector<FusionPlan>&
+FusionCatalog()
+{
+    static const std::vector<FusionPlan> catalog = {
+        {"TGN", "tgn_memory_fused", {"aggregate_last", "gru_memory_update"}},
+        {"TGN", "tgn_embed_fused", {"temporal_attention", "edge_decoder"}},
+        {"TGAT", "tgat_encode_fused", {"time_encoding", "feature_projection"}},
+        {"TGAT", "tgat_attention_fused", {"attention", "merge_ffn"}},
+        {"JODIE",
+         "jodie_tbatch_fused",
+         {"project_user", "predict_item", "rnn_update", "rnn_update"}},
+    };
+    return catalog;
+}
+
+const FusionPlan*
+FindFusionPlan(const std::string& chain)
+{
+    for (const FusionPlan& plan : FusionCatalog()) {
+        if (plan.chain == chain) {
+            return &plan;
+        }
+    }
+    return nullptr;
+}
+
+sim::FusedKernelDesc
+MakeRegisteredChain(const std::string& chain,
+                    std::vector<sim::KernelDesc> parts,
+                    std::vector<int64_t> intermediate_bytes)
+{
+    const FusionPlan* plan = FindFusionPlan(chain);
+    DGNN_CHECK(plan != nullptr, "no registered fusion plan named '", chain,
+               "'");
+    DGNN_CHECK(parts.size() == plan->parts.size(), "fusion chain '", chain,
+               "' wants ", plan->parts.size(), " parts, got ", parts.size());
+    for (size_t i = 0; i < parts.size(); ++i) {
+        DGNN_CHECK(parts[i].name == plan->parts[i], "fusion chain '", chain,
+                   "' part ", i, " is '", parts[i].name, "', plan says '",
+                   plan->parts[i], "'");
+    }
+    sim::FusedKernelDesc fused;
+    fused.name = chain;
+    fused.parts = std::move(parts);
+    fused.intermediate_bytes = std::move(intermediate_bytes);
+    return fused;
+}
+
+}  // namespace dgnn::models

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "models/fusion_catalog.hpp"
 #include "tensor/ops.hpp"
 
 namespace dgnn::models {
@@ -223,15 +224,19 @@ Tgat::RunInference(sim::Runtime& runtime, const RunConfig& run)
             }
         }
 
-        // --- Time Encoding: one kernel over all deltas.
+        // --- Time Encoding: one kernel over all deltas. Under fusion the
+        // launch is deferred into the projection launch (tgat_encode_fused),
+        // so the descriptor outlives this phase scope.
+        sim::KernelDesc tenc;
         {
             core::ProfileScope scope(profiler, "Time Encoding");
-            sim::KernelDesc desc;
-            desc.name = "time_encoding";
-            desc.flops = time_encoder_->ForwardFlops(n * k);
-            desc.bytes = n * k * (8 + d * 4);
-            desc.parallel_items = n * k * d;
-            runtime.Launch(desc);
+            tenc.name = "time_encoding";
+            tenc.flops = time_encoder_->ForwardFlops(n * k);
+            tenc.bytes = n * k * (8 + d * 4);
+            tenc.parallel_items = n * k * d;
+            if (!run.fuse_kernels) {
+                runtime.Launch(tenc);
+            }
             (void)runtime.Synchronize();
         }
 
@@ -247,7 +252,15 @@ Tgat::RunInference(sim::Runtime& runtime, const RunConfig& run)
                          feature_proj_->ParameterBytes();
             proj.parallel_items = gathered_nodes * d;
             proj.irregular = true;  // gather from the resident table
-            runtime.Launch(proj);
+            if (run.fuse_kernels) {
+                // Horizontal fusion: the encoding and projection read
+                // disjoint inputs, so one launch covers both (no shared
+                // intermediate, boundary bytes 0).
+                runtime.Launch(sim::Collapse(MakeRegisteredChain(
+                    "tgat_encode_fused", {tenc, proj}, {0})));
+            } else {
+                runtime.Launch(proj);
+            }
 
             for (int64_t l = 0; l < config_.num_layers; ++l) {
                 // Layers apply bottom-up: inner layers embed every sampled
@@ -264,12 +277,6 @@ Tgat::RunInference(sim::Runtime& runtime, const RunConfig& run)
                                  1, kv_per_target);
                 attn.bytes = q_rows * (kv_per_target + 1) * d * 4 * 3;
                 attn.parallel_items = q_rows * kv_per_target * d;
-                runtime.Launch(attn);
-
-                // Attention execution is attributed to this module scope
-                // (PyTorch-profiler convention); the merge FFN drains later
-                // in the explicit synchronization phase.
-                (void)runtime.Synchronize();
 
                 sim::KernelDesc merge;
                 merge.name = "merge_ffn";
@@ -277,7 +284,23 @@ Tgat::RunInference(sim::Runtime& runtime, const RunConfig& run)
                     merge_layers_[static_cast<size_t>(l)]->ForwardFlops(q_rows);
                 merge.bytes = q_rows * 3 * d * 4;
                 merge.parallel_items = q_rows * d;
-                runtime.Launch(merge);
+
+                if (run.fuse_kernels) {
+                    // Attention + merge FFN in one launch; the attended
+                    // rows stay on-chip at the boundary.
+                    runtime.Launch(sim::Collapse(MakeRegisteredChain(
+                        "tgat_attention_fused", {attn, merge},
+                        {q_rows * d * 4})));
+                    (void)runtime.Synchronize();
+                } else {
+                    runtime.Launch(attn);
+
+                    // Attention execution is attributed to this module scope
+                    // (PyTorch-profiler convention); the merge FFN drains
+                    // later in the explicit synchronization phase.
+                    (void)runtime.Synchronize();
+                    runtime.Launch(merge);
+                }
             }
 
             // Real numerics for up to numeric_cap targets (0 = all).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "models/fusion_catalog.hpp"
 #include "tensor/ops.hpp"
 
 namespace dgnn::models {
@@ -113,6 +114,11 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
             2 * nb * MessageDim() * 4 + 2 * nb * (k + 1) * md * 4,
             "tgn_batch_activations");
 
+        // Hot-chain fusion (run.fuse_kernels): the aggregation launch is
+        // deferred into the GRU update launch (tgn_memory_fused), so the
+        // descriptor outlives the aggregation phase scope.
+        sim::KernelDesc agg;
+
         // --- Aggregate Messages Passing ---------------------------------
         {
             core::ProfileScope scope(profiler, "Aggregate Messages Passing");
@@ -150,13 +156,14 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
             }
 
             // Per-node "last" aggregation kernel (scatter, irregular).
-            sim::KernelDesc agg;
             agg.name = "aggregate_last";
             agg.flops = un * MessageDim();
             agg.bytes = (2 * nb + un) * MessageDim() * 4;
             agg.parallel_items = un * MessageDim();
             agg.irregular = true;
-            runtime.Launch(agg);
+            if (!run.fuse_kernels) {
+                runtime.Launch(agg);
+            }
             (void)runtime.Synchronize();
         }
 
@@ -210,7 +217,14 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
             upd.bytes = un * (MessageDim() + 2 * md) * 4 +
                         memory_updater_->ParameterBytes();
             upd.parallel_items = un * md;
-            runtime.Launch(upd);
+            if (run.fuse_kernels) {
+                // One launch for aggregate + GRU update; the aggregated
+                // per-node message tensor stays on-chip at the boundary.
+                runtime.Launch(sim::Collapse(MakeRegisteredChain(
+                    "tgn_memory_fused", {agg, upd}, {un * MessageDim() * 4})));
+            } else {
+                runtime.Launch(upd);
+            }
             (void)runtime.Synchronize();
 
             // Fig 5b: updated memory rows flow back to the host-side store.
@@ -257,7 +271,6 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
                 n_targets * embedding_attention_->ForwardFlops(1, k);
             attn.bytes = n_targets * (k + 1) * md * 4 * 3;
             attn.parallel_items = n_targets * k * md;
-            runtime.Launch(attn);
 
             // Edge probability decoder.
             sim::KernelDesc dec;
@@ -265,7 +278,15 @@ Tgn::RunInference(sim::Runtime& runtime, const RunConfig& run)
             dec.flops = edge_decoder_->ForwardFlops(nb);
             dec.bytes = nb * 2 * md * 4 + edge_decoder_->ParameterBytes();
             dec.parallel_items = nb;
-            runtime.Launch(dec);
+            if (run.fuse_kernels) {
+                // Attention + decoder in one launch; the src/dst embedding
+                // pairs the decoder consumes stay on-chip.
+                runtime.Launch(sim::Collapse(MakeRegisteredChain(
+                    "tgn_embed_fused", {attn, dec}, {nb * 2 * md * 4})));
+            } else {
+                runtime.Launch(attn);
+                runtime.Launch(dec);
+            }
             (void)runtime.Synchronize();
 
             // Numeric path for capped targets.

@@ -39,13 +39,28 @@ ModelSession::Profile(int64_t batch_size)
     DGNN_CHECK(batch_size > 0, "batch size must be positive, got ", batch_size);
     auto it = cache_profiles_.find(batch_size);
     if (it == cache_profiles_.end()) {
-        it = cache_profiles_.emplace(batch_size, Capture(batch_size)).first;
+        it = cache_profiles_
+                 .emplace(batch_size, Capture(batch_size, /*fuse_kernels=*/false))
+                 .first;
+    }
+    return it->second;
+}
+
+const BatchProfile&
+ModelSession::FusedProfile(int64_t batch_size)
+{
+    DGNN_CHECK(batch_size > 0, "batch size must be positive, got ", batch_size);
+    auto it = fused_profiles_.find(batch_size);
+    if (it == fused_profiles_.end()) {
+        it = fused_profiles_
+                 .emplace(batch_size, Capture(batch_size, /*fuse_kernels=*/true))
+                 .first;
     }
     return it->second;
 }
 
 BatchProfile
-ModelSession::Capture(int64_t batch_size)
+ModelSession::Capture(int64_t batch_size, bool fuse_kernels)
 {
     // Replay the model's batched entry on a scratch runtime of the same
     // mode; the trace then holds every op the batch issues, with enough
@@ -55,6 +70,7 @@ ModelSession::Capture(int64_t batch_size)
     sim::Runtime scratch = models::MakeRuntime(mode_);
     models::RunConfig probe =
         models::SingleBatchProbe(mode_, batch_size, num_neighbors_);
+    probe.fuse_kernels = fuse_kernels;
     if (CacheEnabled()) {
         // Probe through an unbounded scratch cache: every unique state row
         // misses exactly once and no eviction write-backs occur, so the

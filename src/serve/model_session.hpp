@@ -86,20 +86,27 @@ class ModelSession {
     /// The (memoized) cost profile of a batch of @p batch_size requests.
     const BatchProfile& Profile(int64_t batch_size);
 
-    /// Number of distinct batch sizes captured so far.
+    /// The same batch captured with the model's registered fusion chains
+    /// collapsed (probe runs with fuse_kernels on): fewer, fatter kernels,
+    /// identical host work and transfer volumes. Memoized separately; used
+    /// by the hybrid dispatcher's GPU-fused placement.
+    const BatchProfile& FusedProfile(int64_t batch_size);
+
+    /// Number of distinct batch sizes captured so far (unfused profiles).
     int64_t CapturedProfiles() const
     {
         return static_cast<int64_t>(cache_profiles_.size());
     }
 
   private:
-    BatchProfile Capture(int64_t batch_size);
+    BatchProfile Capture(int64_t batch_size, bool fuse_kernels);
 
     models::DgnnModel& model_;
     sim::ExecMode mode_;
     int64_t num_neighbors_;
     cache::DeviceCache cache_;
     std::map<int64_t, BatchProfile> cache_profiles_;
+    std::map<int64_t, BatchProfile> fused_profiles_;
 };
 
 }  // namespace dgnn::serve

@@ -1,0 +1,678 @@
+// Kernel fusion + hybrid dispatch: the Collapse algebra over the analytic
+// cost model, the registered per-model chains (identical numerics, fewer
+// launches), the predict-then-place dispatcher, and its serving integration
+// (placement accounting, identity with the dispatcherless path, hazard
+// freedom). Labelled `fusion` in CTest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/hazard_checker.hpp"
+#include "dispatch/dispatcher.hpp"
+#include "models/fusion_catalog.hpp"
+#include "models/jodie.hpp"
+#include "models/tgat.hpp"
+#include "models/tgn.hpp"
+#include "obs/attribution.hpp"
+#include "scenario/scenario.hpp"
+#include "serve/batch_policy.hpp"
+#include "serve/server.hpp"
+#include "support/check.hpp"
+
+namespace dgnn {
+namespace {
+
+// --------------------------------------------------------- Collapse algebra
+
+sim::KernelDesc
+Desc(const std::string& name, int64_t flops, int64_t bytes,
+     int64_t parallel_items, bool irregular = false)
+{
+    sim::KernelDesc k;
+    k.name = name;
+    k.flops = flops;
+    k.bytes = bytes;
+    k.parallel_items = parallel_items;
+    k.irregular = irregular;
+    return k;
+}
+
+TEST(CollapseTest, SumsWorkAndKeepsWidestStage)
+{
+    sim::FusedKernelDesc fused;
+    fused.name = "chain";
+    fused.parts = {Desc("a", 100, 1000, 8), Desc("b", 200, 2000, 64),
+                   Desc("c", 400, 500, 16)};
+    fused.intermediate_bytes = {300, 100};
+
+    const sim::KernelDesc collapsed = sim::Collapse(fused);
+    EXPECT_EQ(collapsed.name, "chain");
+    EXPECT_EQ(collapsed.flops, 700);
+    // a pays 300 at its outgoing boundary; b pays 300 incoming + 100
+    // outgoing; c pays 100 incoming:
+    //   (1000-300) + (2000-400) + (500-100) = 2700
+    EXPECT_EQ(collapsed.bytes, 2700);
+    EXPECT_EQ(collapsed.parallel_items, 64);
+    EXPECT_FALSE(collapsed.irregular);
+}
+
+TEST(CollapseTest, IntermediateLargerThanPartBytesClampsAtZero)
+{
+    sim::FusedKernelDesc fused;
+    fused.name = "clamped";
+    fused.parts = {Desc("a", 10, 100, 4), Desc("b", 10, 100, 4)};
+    fused.intermediate_bytes = {1000};  // bigger than either side's traffic
+
+    const sim::KernelDesc collapsed = sim::Collapse(fused);
+    EXPECT_EQ(collapsed.bytes, 0);  // never negative
+}
+
+TEST(CollapseTest, AnyIrregularPartPoisonsTheChain)
+{
+    sim::FusedKernelDesc fused;
+    fused.name = "mixed";
+    fused.parts = {Desc("gather", 10, 4096, 16, /*irregular=*/true),
+                   Desc("gemm", 100000, 4096, 256)};
+    fused.intermediate_bytes = {0};
+
+    EXPECT_TRUE(sim::Collapse(fused).irregular);
+}
+
+TEST(CollapseTest, ValidatesChainShape)
+{
+    sim::FusedKernelDesc empty;
+    empty.name = "empty";
+    EXPECT_THROW((void)sim::Collapse(empty), dgnn::Error);
+
+    sim::FusedKernelDesc bad_boundaries;
+    bad_boundaries.name = "bad";
+    bad_boundaries.parts = {Desc("a", 1, 1, 1), Desc("b", 1, 1, 1)};
+    bad_boundaries.intermediate_bytes = {0, 0};  // must be parts-1
+    EXPECT_THROW((void)sim::Collapse(bad_boundaries), dgnn::Error);
+
+    sim::FusedKernelDesc negative_intermediate;
+    negative_intermediate.name = "neg";
+    negative_intermediate.parts = {Desc("a", 1, 1, 1), Desc("b", 1, 1, 1)};
+    negative_intermediate.intermediate_bytes = {-1};
+    EXPECT_THROW((void)sim::Collapse(negative_intermediate), dgnn::Error);
+}
+
+TEST(CollapseTest, RejectsNonPositiveParallelismAndNegativeWork)
+{
+    for (const int64_t items : {int64_t{0}, int64_t{-4}}) {
+        sim::FusedKernelDesc fused;
+        fused.name = "width";
+        fused.parts = {Desc("a", 1, 1, items)};
+        EXPECT_THROW((void)sim::Collapse(fused), dgnn::Error);
+    }
+
+    sim::FusedKernelDesc negative_flops;
+    negative_flops.name = "work";
+    negative_flops.parts = {Desc("a", -1, 1, 1)};
+    EXPECT_THROW((void)sim::Collapse(negative_flops), dgnn::Error);
+}
+
+// ------------------------------------------------- durations over the model
+
+TEST(FusedDurationTest, MatchesCostModelOnCollapsedDescriptor)
+{
+    sim::FusedKernelDesc fused;
+    fused.name = "chain";
+    fused.parts = {Desc("a", 5000, 4096, 32), Desc("b", 9000, 8192, 64)};
+    fused.intermediate_bytes = {2048};
+
+    for (const sim::DeviceSpec& spec :
+         {sim::DeviceSpec::XeonGold6226R(), sim::DeviceSpec::RtxA6000()}) {
+        EXPECT_DOUBLE_EQ(sim::FusedDuration(spec, fused),
+                         sim::KernelDuration(spec, sim::Collapse(fused)));
+        EXPECT_DOUBLE_EQ(sim::UnfusedDuration(spec, fused),
+                         sim::KernelDuration(spec, fused.parts[0]) +
+                             sim::KernelDuration(spec, fused.parts[1]));
+        EXPECT_DOUBLE_EQ(sim::FusedSavings(spec, fused),
+                         sim::UnfusedDuration(spec, fused) -
+                             sim::FusedDuration(spec, fused));
+    }
+}
+
+TEST(FusedDurationTest, LaunchBoundChainSavesAtLeastTwoThirdsOfOverhead)
+{
+    // Four tiny launches (the JODIE t-batch shape): execution is negligible
+    // next to the 6 us GPU launch overhead, so fusing 4 -> 1 must cut the
+    // chain duration by >= 2x.
+    sim::FusedKernelDesc fused;
+    fused.name = "tbatch";
+    fused.parts = {Desc("project_user", 64, 512, 1),
+                   Desc("predict_item", 8192, 512, 1),
+                   Desc("rnn_update", 24576, 768, 1),
+                   Desc("rnn_update", 24576, 768, 1)};
+    fused.intermediate_bytes = {256, 0, 0};
+
+    const sim::DeviceSpec gpu = sim::DeviceSpec::RtxA6000();
+    EXPECT_GE(sim::UnfusedDuration(gpu, fused),
+              2.0 * sim::FusedDuration(gpu, fused));
+}
+
+TEST(FusedDurationTest, IrregularPoisoningCanMakeFusionLose)
+{
+    // A tiny gather fused in front of a byte-bound regular kernel: the whole
+    // chain inherits the irregular penalty, which costs more than one saved
+    // launch. FusedSavings must surface the loss (negative) — this is the
+    // case that keeps placement a per-batch decision.
+    sim::FusedKernelDesc fused;
+    fused.name = "poisoned";
+    fused.parts = {Desc("gather", 0, 4096, 200000, /*irregular=*/true),
+                   Desc("stream", 0, 600000000, 200000)};
+    fused.intermediate_bytes = {0};
+
+    EXPECT_LT(sim::FusedSavings(sim::DeviceSpec::RtxA6000(), fused), 0.0);
+}
+
+TEST(CostModelEdgeTest, OccupancyClampsToFloorAndOne)
+{
+    const sim::DeviceSpec gpu = sim::DeviceSpec::RtxA6000();
+    EXPECT_DOUBLE_EQ(sim::Occupancy(gpu, Desc("tiny", 1, 1, 1)),
+                     gpu.occupancy_floor);
+    EXPECT_DOUBLE_EQ(
+        sim::Occupancy(gpu, Desc("huge", 1, 1, gpu.saturation_items * 100)),
+        1.0);
+}
+
+TEST(CostModelEdgeTest, NonPositiveParallelismThrows)
+{
+    const sim::DeviceSpec gpu = sim::DeviceSpec::RtxA6000();
+    EXPECT_THROW((void)sim::KernelDuration(gpu, Desc("zero", 1, 1, 0)),
+                 dgnn::Error);
+    EXPECT_THROW((void)sim::KernelDuration(gpu, Desc("neg", 1, 1, -1)),
+                 dgnn::Error);
+}
+
+// ----------------------------------------------------------- the catalog
+
+TEST(FusionCatalogTest, RegistersTheFiveChains)
+{
+    const std::vector<models::FusionPlan>& catalog = models::FusionCatalog();
+    ASSERT_EQ(catalog.size(), 5u);
+    EXPECT_NE(models::FindFusionPlan("tgn_memory_fused"), nullptr);
+    EXPECT_NE(models::FindFusionPlan("tgn_embed_fused"), nullptr);
+    EXPECT_NE(models::FindFusionPlan("tgat_encode_fused"), nullptr);
+    EXPECT_NE(models::FindFusionPlan("tgat_attention_fused"), nullptr);
+    EXPECT_NE(models::FindFusionPlan("jodie_tbatch_fused"), nullptr);
+    EXPECT_EQ(models::FindFusionPlan("nonexistent"), nullptr);
+
+    const models::FusionPlan* jodie =
+        models::FindFusionPlan("jodie_tbatch_fused");
+    ASSERT_EQ(jodie->parts.size(), 4u);  // 4 launches -> 1 per t-batch
+}
+
+TEST(FusionCatalogTest, MakeRegisteredChainValidatesPartsAgainstThePlan)
+{
+    const sim::FusedKernelDesc chain = models::MakeRegisteredChain(
+        "tgn_memory_fused",
+        {Desc("aggregate_last", 10, 100, 4), Desc("gru_memory_update", 10, 100, 4)},
+        {64});
+    EXPECT_EQ(chain.name, "tgn_memory_fused");
+    EXPECT_EQ(chain.parts.size(), 2u);
+
+    // Unknown chain.
+    EXPECT_THROW((void)models::MakeRegisteredChain(
+                     "nonexistent", {Desc("a", 1, 1, 1)}, {}),
+                 dgnn::Error);
+    // Wrong part count.
+    EXPECT_THROW((void)models::MakeRegisteredChain(
+                     "tgn_memory_fused", {Desc("aggregate_last", 1, 1, 1)}, {}),
+                 dgnn::Error);
+    // Wrong order.
+    EXPECT_THROW(
+        (void)models::MakeRegisteredChain(
+            "tgn_memory_fused",
+            {Desc("gru_memory_update", 1, 1, 1), Desc("aggregate_last", 1, 1, 1)},
+            {64}),
+        dgnn::Error);
+}
+
+// ------------------------------------------- model identity: fused vs not
+
+data::InteractionDataset
+TinyInteractions()
+{
+    data::InteractionSpec spec;
+    spec.name = "tiny";
+    spec.num_users = 20;
+    spec.num_items = 12;
+    spec.num_events = 120;
+    spec.edge_feature_dim = 8;
+    spec.seed = 5;
+    return data::GenerateInteractions(spec);
+}
+
+int64_t
+CountKernelLaunches(const sim::Runtime& runtime)
+{
+    int64_t launches = 0;
+    for (const sim::TraceEvent& event : runtime.GetTrace().Events()) {
+        if (event.kind == sim::EventKind::kKernel) {
+            ++launches;
+        }
+    }
+    return launches;
+}
+
+template <typename ModelFactory>
+void
+ExpectFusionPreservesNumerics(ModelFactory make_model)
+{
+    models::RunConfig run;
+    run.mode = sim::ExecMode::kHybrid;
+    run.batch_size = 16;
+    run.num_neighbors = 4;
+    run.numeric_cap = 0;  // full numerics — the checksum must not move
+
+    auto unfused_model = make_model();
+    sim::Runtime unfused_rt = models::MakeRuntime(run.mode);
+    const models::RunResult unfused =
+        unfused_model->RunInference(unfused_rt, run);
+
+    run.fuse_kernels = true;
+    auto fused_model = make_model();
+    sim::Runtime fused_rt = models::MakeRuntime(run.mode);
+    const models::RunResult fused = fused_model->RunInference(fused_rt, run);
+
+    // Fusion is cost-shape only: identical numerics and iteration count...
+    EXPECT_DOUBLE_EQ(fused.output_checksum, unfused.output_checksum);
+    EXPECT_EQ(fused.iterations, unfused.iterations);
+    // ...with strictly fewer launches and a cheaper (or equal) timeline.
+    EXPECT_LT(CountKernelLaunches(fused_rt), CountKernelLaunches(unfused_rt));
+    EXPECT_LE(fused.total_us, unfused.total_us);
+}
+
+TEST(ModelFusionTest, TgnChecksumIdenticalWithFewerLaunches)
+{
+    const auto ds = TinyInteractions();
+    ExpectFusionPreservesNumerics(
+        [&] { return std::make_unique<models::Tgn>(ds, models::TgnConfig{64, 32, 1, 11}); });
+}
+
+TEST(ModelFusionTest, TgatChecksumIdenticalWithFewerLaunches)
+{
+    const auto ds = TinyInteractions();
+    ExpectFusionPreservesNumerics(
+        [&] { return std::make_unique<models::Tgat>(ds, models::TgatConfig{16, 2, 1, 4, 7}); });
+}
+
+TEST(ModelFusionTest, JodieChecksumIdenticalWithFewerLaunches)
+{
+    const auto ds = TinyInteractions();
+    ExpectFusionPreservesNumerics(
+        [&] { return std::make_unique<models::Jodie>(ds, models::JodieConfig{}); });
+}
+
+TEST(ModelFusionTest, FusedProfileKeepsHostAndTransferVolumes)
+{
+    const auto ds = TinyInteractions();
+    models::Tgn tgn(ds, models::TgnConfig{64, 32, 1, 11});
+    serve::ModelSession session(tgn, sim::ExecMode::kHybrid,
+                                /*num_neighbors=*/4);
+
+    const serve::BatchProfile& unfused = session.Profile(16);
+    const serve::BatchProfile& fused = session.FusedProfile(16);
+    EXPECT_LT(fused.kernels.size(), unfused.kernels.size());
+    EXPECT_DOUBLE_EQ(fused.host_us, unfused.host_us);
+    EXPECT_EQ(fused.h2d_bytes, unfused.h2d_bytes);
+    EXPECT_EQ(fused.d2h_bytes, unfused.d2h_bytes);
+
+    // Both memos are stable across calls.
+    EXPECT_EQ(&session.FusedProfile(16), &fused);
+    EXPECT_EQ(&session.Profile(16), &unfused);
+}
+
+// ------------------------------------------------------------- dispatcher
+
+dispatch::WorkEstimate
+Estimate(const std::vector<sim::KernelDesc>& kernels,
+         const std::vector<sim::KernelDesc>* fused_kernels, int64_t batch,
+         double host_us, int64_t h2d, int64_t d2h)
+{
+    dispatch::WorkEstimate estimate;
+    estimate.batch_size = batch;
+    estimate.host_us = host_us;
+    estimate.h2d_bytes = h2d;
+    estimate.d2h_bytes = d2h;
+    estimate.kernels = &kernels;
+    estimate.fused_kernels = fused_kernels;
+    return estimate;
+}
+
+TEST(DispatcherTest, TinyBatchStaysOnHostLargeBatchGoesToDevice)
+{
+    const dispatch::HybridDispatcher dispatcher;
+
+    // Tiny launch-bound batch: two PCIe latencies dwarf the work.
+    const std::vector<sim::KernelDesc> tiny = {Desc("small", 2000, 8192, 8)};
+    const dispatch::PlacementDecision on_host =
+        dispatcher.Decide(Estimate(tiny, nullptr, 4, 5.0, 4096, 1024));
+    EXPECT_EQ(on_host.placement, dispatch::Placement::kCpu);
+    EXPECT_LT(on_host.predicted_cpu_us, on_host.predicted_gpu_us);
+
+    // Dense wide batch: device throughput wins despite the transfers.
+    const std::vector<sim::KernelDesc> dense = {
+        Desc("gemm", 2000000000, 64000000, 200000)};
+    const dispatch::PlacementDecision on_device = dispatcher.Decide(
+        Estimate(dense, nullptr, 256, 50.0, 8000000, 1000000));
+    EXPECT_EQ(on_device.placement, dispatch::Placement::kGpu);
+    EXPECT_LT(on_device.predicted_gpu_us, on_device.predicted_cpu_us);
+}
+
+TEST(DispatcherTest, FusedChainWinsWhenItSavesLaunches)
+{
+    const dispatch::HybridDispatcher dispatcher;
+    const std::vector<sim::KernelDesc> unfused = {
+        Desc("a", 500000000, 16000000, 200000),
+        Desc("b", 500000000, 16000000, 200000),
+        Desc("c", 500000000, 16000000, 200000),
+        Desc("d", 500000000, 16000000, 200000)};
+    sim::FusedKernelDesc chain;
+    chain.name = "abcd";
+    chain.parts = unfused;
+    chain.intermediate_bytes = {8000000, 8000000, 8000000};
+    const std::vector<sim::KernelDesc> fused = {sim::Collapse(chain)};
+
+    const dispatch::PlacementDecision decision = dispatcher.Decide(
+        Estimate(unfused, &fused, 256, 50.0, 8000000, 1000000));
+    EXPECT_EQ(decision.placement, dispatch::Placement::kGpuFused);
+    EXPECT_LT(decision.predicted_gpu_fused_us, decision.predicted_gpu_us);
+}
+
+TEST(DispatcherTest, DecisionsAreDeterministic)
+{
+    const dispatch::HybridDispatcher dispatcher;
+    const std::vector<sim::KernelDesc> kernels = {
+        Desc("k", 1000000, 250000, 512, /*irregular=*/true)};
+    const dispatch::WorkEstimate estimate =
+        Estimate(kernels, nullptr, 32, 12.0, 65536, 8192);
+
+    const dispatch::PlacementDecision first = dispatcher.Decide(estimate);
+    for (int i = 0; i < 10; ++i) {
+        const dispatch::PlacementDecision again = dispatcher.Decide(estimate);
+        EXPECT_EQ(again.placement, first.placement);
+        EXPECT_DOUBLE_EQ(again.predicted_cpu_us, first.predicted_cpu_us);
+        EXPECT_DOUBLE_EQ(again.predicted_gpu_us, first.predicted_gpu_us);
+        EXPECT_DOUBLE_EQ(again.predicted_gpu_fused_us,
+                         first.predicted_gpu_fused_us);
+    }
+}
+
+TEST(DispatcherTest, StaticModesForceThePlacement)
+{
+    const std::vector<sim::KernelDesc> kernels = {Desc("k", 2000, 8192, 8)};
+    const std::vector<sim::KernelDesc> fused = {Desc("k_fused", 2000, 8192, 8)};
+    const dispatch::WorkEstimate estimate =
+        Estimate(kernels, &fused, 4, 5.0, 4096, 1024);
+    const dispatch::WorkEstimate no_fused =
+        Estimate(kernels, nullptr, 4, 5.0, 4096, 1024);
+
+    const auto decide = [](const dispatch::WorkEstimate& e,
+                           dispatch::DispatchMode mode, bool allow_cpu) {
+        dispatch::DispatcherConfig config;
+        config.mode = mode;
+        return dispatch::HybridDispatcher(config).Decide(e, allow_cpu);
+    };
+
+    EXPECT_EQ(decide(estimate, dispatch::DispatchMode::kStaticCpu, true)
+                  .placement,
+              dispatch::Placement::kCpu);
+    EXPECT_EQ(decide(estimate, dispatch::DispatchMode::kStaticGpu, true)
+                  .placement,
+              dispatch::Placement::kGpu);
+    EXPECT_EQ(decide(estimate, dispatch::DispatchMode::kStaticGpuFused, true)
+                  .placement,
+              dispatch::Placement::kGpuFused);
+    // Masked CPU: the static-CPU policy falls back to the device, and the
+    // hybrid never picks the host even when it predicts cheapest (the tied
+    // device predictions then break toward the fused launch).
+    EXPECT_EQ(decide(estimate, dispatch::DispatchMode::kStaticCpu, false)
+                  .placement,
+              dispatch::Placement::kGpu);
+    EXPECT_EQ(decide(estimate, dispatch::DispatchMode::kHybrid, false)
+                  .placement,
+              dispatch::Placement::kGpuFused);
+    // Without a fused chain, kGpuFused collapses into kGpu everywhere.
+    EXPECT_EQ(decide(no_fused, dispatch::DispatchMode::kStaticGpuFused, true)
+                  .placement,
+              dispatch::Placement::kGpu);
+    EXPECT_EQ(decide(no_fused, dispatch::DispatchMode::kHybrid, false)
+                  .placement,
+              dispatch::Placement::kGpu);
+}
+
+TEST(DispatcherTest, StatsExposeSparsityAndLaunchSignals)
+{
+    const std::vector<sim::KernelDesc> kernels = {
+        Desc("gather", 0, 3000, 64, /*irregular=*/true),
+        Desc("gemm", 1000, 1000, 512)};
+    const dispatch::BatchStats stats = dispatch::HybridDispatcher::Stats(
+        Estimate(kernels, nullptr, 32, 1.0, 100, 50));
+    EXPECT_EQ(stats.batch_size, 32);
+    EXPECT_EQ(stats.launches, 2);
+    EXPECT_EQ(stats.fused_launches, 2);  // no fused chain offered
+    EXPECT_EQ(stats.transfer_bytes, 150);
+    EXPECT_DOUBLE_EQ(stats.irregular_byte_frac, 0.75);
+    EXPECT_EQ(stats.max_parallel_items, 512);
+
+    dispatch::WorkEstimate no_kernels;
+    EXPECT_THROW((void)dispatch::HybridDispatcher::Stats(no_kernels),
+                 dgnn::Error);
+}
+
+// ------------------------------------------------------ serving integration
+
+data::InteractionDataset
+ServingDataset()
+{
+    data::InteractionSpec spec;
+    spec.name = "fusion-serve";
+    spec.num_users = 128;
+    spec.num_items = 32;
+    spec.num_events = 1024;
+    spec.edge_feature_dim = 32;
+    spec.popularity_alpha = 2.5;
+    spec.repeat_prob = 0.9;
+    spec.seed = 31;
+    return data::GenerateInteractions(spec);
+}
+
+std::vector<serve::Request>
+ServingRequests(const data::InteractionDataset& dataset, int64_t n)
+{
+    scenario::Scenario s;
+    s.name = "fusion-replay";
+    s.poisson_qps = 20000.0;
+    s.poisson_seed = 1009;
+    return scenario::GenerateRequests(s, dataset, n);
+}
+
+serve::ServingReport
+ServeWith(models::DgnnModel& model, const std::vector<serve::Request>& requests,
+          serve::ExecutorKind kind, const dispatch::HybridDispatcher* dispatcher,
+          serve::ServingObserver* observer = nullptr,
+          sim::RuntimeObserver* runtime_observer = nullptr)
+{
+    serve::ModelSession session(model, sim::ExecMode::kHybrid,
+                                /*num_neighbors=*/4);
+    serve::TimeoutPolicy policy(/*batch_size=*/32, /*timeout_us=*/5000.0);
+    serve::ServerOptions options;
+    options.executor = kind;
+    options.dispatcher = dispatcher;
+    options.observer = observer;
+    options.runtime_observer = runtime_observer;
+    return serve::ServeRequests(session, policy, requests, options);
+}
+
+TEST(DispatchServingTest, HybridRoutesEveryBatchAndReportsTheMix)
+{
+    const auto dataset = ServingDataset();
+    const auto requests = ServingRequests(dataset, 256);
+    models::Tgn tgn(dataset, models::TgnConfig{64, 32, 1, 11});
+
+    for (const serve::ExecutorKind kind :
+         {serve::ExecutorKind::kSerial, serve::ExecutorKind::kPipelined}) {
+        const dispatch::HybridDispatcher dispatcher;
+        const serve::ServingReport report =
+            ServeWith(tgn, requests, kind, &dispatcher);
+        EXPECT_EQ(report.requests, 256);
+        int64_t routed = 0;
+        for (const int64_t n : report.placement_batches) {
+            routed += n;
+        }
+        EXPECT_EQ(routed, report.batches);
+        EXPECT_GT(report.achieved_qps, 0.0);
+    }
+}
+
+TEST(DispatchServingTest, StaticGpuDispatcherIsIdenticalToDispatcherless)
+{
+    // kGpu placement forwards to the plain Submit with the unfused profile,
+    // so a static-GPU dispatcher must reproduce the dispatcherless run
+    // bit-for-bit — the identity contract of the SubmitPlaced seam.
+    const auto dataset = ServingDataset();
+    const auto requests = ServingRequests(dataset, 256);
+    models::Tgn tgn(dataset, models::TgnConfig{64, 32, 1, 11});
+
+    for (const serve::ExecutorKind kind :
+         {serve::ExecutorKind::kSerial, serve::ExecutorKind::kPipelined}) {
+        const serve::ServingReport baseline =
+            ServeWith(tgn, requests, kind, nullptr);
+        dispatch::DispatcherConfig config;
+        config.mode = dispatch::DispatchMode::kStaticGpu;
+        const dispatch::HybridDispatcher dispatcher(config);
+        const serve::ServingReport routed =
+            ServeWith(tgn, requests, kind, &dispatcher);
+
+        EXPECT_DOUBLE_EQ(routed.makespan_us, baseline.makespan_us);
+        EXPECT_DOUBLE_EQ(routed.achieved_qps, baseline.achieved_qps);
+        EXPECT_EQ(routed.batches, baseline.batches);
+        EXPECT_EQ(routed.h2d_bytes, baseline.h2d_bytes);
+        EXPECT_EQ(routed.d2h_bytes, baseline.d2h_bytes);
+        EXPECT_DOUBLE_EQ(routed.latency.P99(), baseline.latency.P99());
+        // The only difference is the placement accounting.
+        EXPECT_EQ(routed.placement_batches[static_cast<size_t>(
+                      dispatch::Placement::kGpu)],
+                  routed.batches);
+        for (const int64_t n : baseline.placement_batches) {
+            EXPECT_EQ(n, 0);
+        }
+    }
+}
+
+TEST(DispatchServingTest, DispatcherRequiresAHybridSession)
+{
+    const auto dataset = ServingDataset();
+    const auto requests = ServingRequests(dataset, 32);
+    models::Tgn tgn(dataset, models::TgnConfig{64, 32, 1, 11});
+
+    serve::ModelSession session(tgn, sim::ExecMode::kCpuOnly,
+                                /*num_neighbors=*/4);
+    serve::TimeoutPolicy policy(32, 5000.0);
+    const dispatch::HybridDispatcher dispatcher;
+    serve::ServerOptions options;
+    options.dispatcher = &dispatcher;
+    EXPECT_THROW((void)serve::ServeRequests(session, policy, requests, options),
+                 dgnn::Error);
+}
+
+TEST(DispatchServingTest, CacheEnabledSessionNeverRoutesToCpu)
+{
+    const auto dataset = ServingDataset();
+    const auto requests = ServingRequests(dataset, 256);
+    models::Tgn tgn(dataset, models::TgnConfig{64, 32, 1, 11});
+
+    cache::DeviceCacheConfig cache_config;
+    cache_config.capacity_bytes =
+        dataset.NumNodes() / 4 * tgn.CacheRowBytes();
+    cache_config.eviction = cache::EvictionPolicy::kLru;
+    serve::ModelSession session(tgn, sim::ExecMode::kHybrid,
+                                /*num_neighbors=*/4, cache_config);
+    ASSERT_TRUE(session.CacheEnabled());
+
+    serve::TimeoutPolicy policy(32, 5000.0);
+    const dispatch::HybridDispatcher dispatcher;
+    serve::ServerOptions options;
+    options.executor = serve::ExecutorKind::kSerial;
+    options.dispatcher = &dispatcher;
+    const serve::ServingReport report =
+        serve::ServeRequests(session, policy, requests, options);
+    EXPECT_EQ(
+        report.placement_batches[static_cast<size_t>(dispatch::Placement::kCpu)],
+        0);
+    EXPECT_GT(report.batches, 0);
+}
+
+// Forwards batch observations into a DispatchLedger.
+class LedgerObserver final : public serve::ServingObserver {
+  public:
+    void OnBatch(const serve::BatchObservation& ob) override
+    {
+        ledger_.OnBatch(ob);
+    }
+    const obs::DispatchLedger& Ledger() const { return ledger_; }
+
+  private:
+    obs::DispatchLedger ledger_;
+};
+
+TEST(DispatchServingTest, LedgerAccountsEveryRoutedBatch)
+{
+    const auto dataset = ServingDataset();
+    const auto requests = ServingRequests(dataset, 256);
+    models::Tgn tgn(dataset, models::TgnConfig{64, 32, 1, 11});
+
+    const dispatch::HybridDispatcher dispatcher;
+    LedgerObserver observer;
+    const serve::ServingReport report = ServeWith(
+        tgn, requests, serve::ExecutorKind::kSerial, &dispatcher, &observer);
+
+    const obs::DispatchLedger& ledger = observer.Ledger();
+    EXPECT_EQ(ledger.RoutedBatches(), report.batches);
+    for (int i = 0; i < dispatch::kNumPlacements; ++i) {
+        EXPECT_EQ(ledger.Buckets()[static_cast<size_t>(i)].batches,
+                  report.placement_batches[static_cast<size_t>(i)]);
+    }
+    // On the serial executor the cost-model predictions track the measured
+    // in-executor spans closely (they differ only by per-launch submit/sync
+    // overheads); a wildly wrong prediction means the seam broke.
+    EXPECT_LT(ledger.MeanRelativeError(), 0.5);
+
+    // A dispatcherless run routes nothing through the ledger.
+    LedgerObserver idle;
+    (void)ServeWith(tgn, requests, serve::ExecutorKind::kSerial, nullptr,
+                    &idle);
+    EXPECT_EQ(idle.Ledger().RoutedBatches(), 0);
+}
+
+TEST(DispatchServingTest, FusedAndRoutedServingIsHazardFree)
+{
+    const auto dataset = ServingDataset();
+    const auto requests = ServingRequests(dataset, 256);
+    models::Tgn tgn(dataset, models::TgnConfig{64, 32, 1, 11});
+    models::Jodie jodie(dataset, models::JodieConfig{});
+
+    for (models::DgnnModel* model :
+         std::vector<models::DgnnModel*>{&tgn, &jodie}) {
+        for (const serve::ExecutorKind kind :
+             {serve::ExecutorKind::kSerial, serve::ExecutorKind::kPipelined}) {
+            const dispatch::HybridDispatcher dispatcher;
+            analysis::HazardChecker checker;
+            (void)ServeWith(*model, requests, kind, &dispatcher, nullptr,
+                            &checker);
+            const analysis::HazardReport report = checker.Report();
+            EXPECT_TRUE(report.Clean())
+                << model->Name() << " / " << serve::ToString(kind) << "\n"
+                << report.ToText();
+            EXPECT_GT(report.ops, 0);
+            EXPECT_GT(report.writes, 0);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dgnn
